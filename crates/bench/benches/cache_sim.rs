@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the simulator substrate: cache-hierarchy
+//! access throughput for streaming and random patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::hierarchy::MemorySystem;
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_streaming");
+    let lines = 1u64 << 14;
+    group.throughput(Throughput::Elements(lines));
+    group.bench_function(BenchmarkId::new("sequential_read", lines), |b| {
+        b.iter_with_setup(
+            || MemorySystem::new(SimConfig::table1()),
+            |mut mem| {
+                for i in 0..lines {
+                    mem.read(0, i * 64, 64);
+                }
+                mem
+            },
+        )
+    });
+    group.bench_function(BenchmarkId::new("sequential_write", lines), |b| {
+        b.iter_with_setup(
+            || MemorySystem::new(SimConfig::table1()),
+            |mut mem| {
+                for i in 0..lines {
+                    mem.write(0, i * 64, 64);
+                }
+                mem
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_random");
+    let accesses = 1u64 << 14;
+    group.throughput(Throughput::Elements(accesses));
+    let mut rng = SmallRng::seed_from_u64(3);
+    let addrs: Vec<u64> = (0..accesses)
+        .map(|_| rng.gen_range(0..1u64 << 28) & !63)
+        .collect();
+    group.bench_function("random_read", |b| {
+        b.iter_with_setup(
+            || MemorySystem::new(SimConfig::table1()),
+            |mut mem| {
+                for &a in &addrs {
+                    mem.read(0, a, 64);
+                }
+                mem
+            },
+        )
+    });
+    group.finish();
+}
+
+
+/// Criterion tuned for CI-scale runs: small sample counts so the whole
+/// suite finishes quickly even on a single core.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_streaming, bench_random
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the functional ZCOMP stream codec:
+//! compress and expand throughput across sparsity levels and header
+//! modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zcomp_dnn::sparsity::generate_activations;
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::compress::{compress_f32, compress_f32_with, expand_f32};
+use zcomp_isa::stream::HeaderMode;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_f32");
+    let elements = 1 << 18; // 1 MiB of fp32
+    group.throughput(Throughput::Bytes((elements * 4) as u64));
+    for sparsity_pct in [10u32, 53, 90] {
+        let data = generate_activations(elements, f64::from(sparsity_pct) / 100.0, 6.0, 11);
+        group.bench_with_input(
+            BenchmarkId::new("eqz", sparsity_pct),
+            &data,
+            |b, data| b.iter(|| compress_f32(data, CompareCond::Eqz).expect("whole vectors")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expand_f32");
+    let elements = 1 << 18;
+    group.throughput(Throughput::Bytes((elements * 4) as u64));
+    for mode in [HeaderMode::Interleaved, HeaderMode::Separate] {
+        let data = generate_activations(elements, 0.53, 6.0, 12);
+        let stream = compress_f32_with(&data, CompareCond::Eqz, mode).expect("whole vectors");
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.to_string()),
+            &stream,
+            |b, stream| b.iter(|| expand_f32(stream).expect("valid stream")),
+        );
+    }
+    group.finish();
+}
+
+
+/// Criterion tuned for CI-scale runs: small sample counts so the whole
+/// suite finishes quickly even on a single core.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_compress, bench_expand
+}
+criterion_main!(benches);

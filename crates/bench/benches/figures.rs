@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the experiment runners at reduced scale — a
+//! regression guard on the end-to-end figure pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zcomp::experiments::{fig01, fig03, fig15};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig01_vgg_sparsity_batch8", |b| {
+        b.iter(|| fig01::run(8, &[1, 30, 90]))
+    });
+    c.bench_function("fig03_footprints", |b| b.iter(fig03::run));
+    c.bench_function("fig15_small_snapshots", |b| {
+        b.iter(|| fig15::run(1, 16 * 1024))
+    });
+}
+
+
+/// Criterion tuned for CI-scale runs: small sample counts so the whole
+/// suite finishes quickly even on a single core.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the three ReLU kernel simulations — how fast
+//! the simulator itself chews through each scheme's instruction stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+fn bench_relu_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relu_kernel_sim");
+    let elements = 1 << 18; // 1 MiB feature map
+    let nnz = nnz_synthetic(elements, 0.53, 6.0, 21);
+    group.throughput(Throughput::Elements((elements / 16) as u64));
+    for scheme in [
+        ReluScheme::Avx512Vec,
+        ReluScheme::Avx512Comp,
+        ReluScheme::Zcomp,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", scheme.to_string()),
+            &nnz,
+            |b, nnz| {
+                b.iter_with_setup(
+                    || Machine::new(SimConfig::table1(), UopTable::skylake_x()),
+                    |mut machine| {
+                        run_relu(&mut machine, scheme, nnz, &ReluOpts::default());
+                        machine
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Criterion tuned for CI-scale runs: small sample counts so the whole
+/// suite finishes quickly even on a single core.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_relu_schemes
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: CPU cycle breakdown (compute / memory / sync)
+//! for the five DNN training benchmarks on the Table-1 machine.
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let result = zcomp::experiments::fig02::run(args.scale);
+    print_table(&result.table());
+    args.save_json(&result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: memory footprint of key data structures for the
+//! five DNN benchmarks at the paper's batch sizes.
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let result = zcomp::experiments::fig03::run();
+    print_table(&result.table());
+    args.save_json(&result);
+}

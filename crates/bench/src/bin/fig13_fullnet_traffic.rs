@@ -1,0 +1,25 @@
+//! Regenerates Figure 13: full-network data-traffic reduction for
+//! training (batch 64; ResNet 128) and inference (batch 4).
+
+use zcomp::report::pct;
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let result = zcomp::experiments::fullnet::run(args.scale);
+    print_table(&result.table_traffic());
+    let s = result.summary();
+    println!("== Figure 13 summary (paper values in parentheses) ==");
+    println!(
+        "training:  zcomp {} (31%)   avx512-comp {} (26%)",
+        pct(s.zcomp_train_traffic),
+        pct(s.avx_train_traffic)
+    );
+    println!(
+        "inference: zcomp {} (23%)   avx512-comp {} (19%)",
+        pct(s.zcomp_infer_traffic),
+        pct(s.avx_infer_traffic)
+    );
+    args.save_json(&result);
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 14: full-network speedup over the uncompressed
+//! baseline for training and inference.
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let result = zcomp::experiments::fullnet::run(args.scale);
+    print_table(&result.table_speedup());
+    let s = result.summary();
+    println!("== Figure 14 summary (paper values in parentheses) ==");
+    println!(
+        "training:  zcomp {:.3}x (1.11x)   avx512-comp {:.3}x (1.04x)",
+        s.zcomp_train_speedup, s.avx_train_speedup
+    );
+    println!(
+        "inference: zcomp {:.3}x (1.03x)   avx512-comp {:.3}x (0.98x)",
+        s.zcomp_infer_speedup, s.avx_infer_speedup
+    );
+    println!(
+        "avx512-comp slowdowns: {}/10 benchmarks (paper: 5/10)",
+        s.avx_slowdowns
+    );
+    args.save_json(&result);
+}

@@ -1,0 +1,16 @@
+//! Extension sweep: batch-size effect on the feature-map vs weight
+//! footprint balance (§2.3's motivation for larger batches stressing the
+//! memory system).
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp_dnn::models::ModelId;
+
+fn main() {
+    let _args = FigArgs::from_env();
+    print_machine();
+    for model in ModelId::ALL {
+        let result =
+            zcomp::experiments::sweeps::batch_sweep(model, &[1, 4, 16, 64, 128, 256]);
+        print_table(&result.table());
+    }
+}

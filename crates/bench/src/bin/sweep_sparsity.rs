@@ -1,0 +1,16 @@
+//! Extension sweep: scheme sensitivity to feature-map sparsity on a
+//! DeepBench-scale ReLU layer (complements §4.1's break-even analysis).
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let elements = (16 << 20) / args.scale.max(1);
+    let result = zcomp::experiments::sweeps::sparsity_sweep(
+        elements.max(64 * 1024),
+        &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.53, 0.6, 0.7, 0.8, 0.9],
+    );
+    print_table(&result.table());
+    args.save_json(&result);
+}

@@ -1,0 +1,16 @@
+//! Extension sweep: thread-count scalability of the three ReLU schemes
+//! (§4.3's partitioned-parallelization scaling argument).
+
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let elements = (16 << 20) / args.scale.max(1);
+    let result = zcomp::experiments::thread_sweep::run(
+        elements.max(128 * 1024),
+        &[1, 2, 4, 8, 16],
+    );
+    print_table(&result.table());
+    args.save_json(&result);
+}

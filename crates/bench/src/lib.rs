@@ -1,0 +1,113 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every paper figure has a `fig*` binary in `src/bin/`; they accept:
+//!
+//! * `--quick` — scale workloads down for a fast sanity run;
+//! * `--scale <N>` — explicit scale divisor (1 = the paper's full sizes);
+//! * `--json <path>` — also write the typed result as JSON.
+//!
+//! Each binary prints the Table-1 machine configuration first, then the
+//! figure's rows.
+
+use zcomp::report::Table;
+use zcomp_sim::config::SimConfig;
+
+/// Parsed command-line options common to all figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigArgs {
+    /// Workload scale divisor (1 = full size).
+    pub scale: usize,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl FigArgs {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> FigArgs {
+        let mut out = FigArgs {
+            scale: 1,
+            json: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.scale = 64,
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale needs an integer");
+                    assert!(out.scale >= 1, "--scale must be >= 1");
+                }
+                "--json" => out.json = Some(it.next().expect("--json needs a path")),
+                other => panic!("unknown argument: {other} (expected --quick/--scale/--json)"),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping argv[0]).
+    pub fn from_env() -> FigArgs {
+        FigArgs::parse(std::env::args().skip(1))
+    }
+
+    /// Writes a serializable result to the `--json` path, if given.
+    pub fn save_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let text = serde_json::to_string_pretty(value).expect("results serialize");
+            std::fs::write(path, text).expect("write json output");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Prints the Table-1 machine configuration.
+pub fn print_machine() {
+    println!("== Table 1: Architecture Configuration ==");
+    for (k, v) in SimConfig::table1().table1_rows() {
+        println!("{k:<12} {v}");
+    }
+    println!();
+}
+
+/// Prints a rendered table followed by a blank line.
+pub fn print_table(t: &Table) {
+    println!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let a = FigArgs::parse(Vec::<String>::new());
+        assert_eq!(a.scale, 1);
+        assert_eq!(a.json, None);
+    }
+
+    #[test]
+    fn parse_quick_and_json() {
+        let a = FigArgs::parse(
+            ["--quick", "--json", "/tmp/x.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.scale, 64);
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn parse_explicit_scale() {
+        let a = FigArgs::parse(["--scale", "8"].iter().map(|s| s.to_string()));
+        assert_eq!(a.scale, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        FigArgs::parse(["--bogus".to_string()]);
+    }
+}

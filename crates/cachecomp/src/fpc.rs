@@ -1,0 +1,191 @@
+//! Frequent Pattern Compression (FPC) and FPC with a limited dictionary
+//! (FPC-D).
+//!
+//! FPC (Alameldeen & Wood, 2004) encodes each 32-bit word with a 3-bit
+//! prefix selecting one of eight patterns. FPC-D (Alameldeen & Agarwal,
+//! 2018) extends it with a small dictionary of recently seen words,
+//! "achieving higher compression ratios at lower latency and complexity";
+//! its line format carries an 8-byte prefix per cache line (§5.4 of the
+//! ZCOMP paper attributes LimitCC's modest ratios to that overhead,
+//! compared with ZCOMP's two bytes per line).
+
+use crate::line::{words_of, LINE_BYTES};
+#[cfg(test)]
+use crate::line::WORDS_PER_LINE;
+
+/// Bits of the per-word FPC pattern prefix.
+const PREFIX_BITS: usize = 3;
+
+/// FPC-D per-line metadata prefix in bytes (compression encoding, segment
+/// count and dictionary seed information).
+pub const FPCD_LINE_PREFIX_BYTES: usize = 8;
+
+/// Number of dictionary entries FPC-D tracks while scanning a line.
+const FPCD_DICT_ENTRIES: usize = 4;
+
+/// Payload bits FPC assigns to one 32-bit word (excluding the prefix).
+fn fpc_payload_bits(word: u32) -> usize {
+    let as_i32 = word as i32;
+    if word == 0 {
+        // Zero word (runs are encoded in the payload; one word per entry
+        // in this per-word model).
+        3
+    } else if (-8..8).contains(&as_i32) {
+        // 4-bit sign-extended.
+        4
+    } else if (-128..128).contains(&as_i32) {
+        // 8-bit sign-extended.
+        8
+    } else if (-32768..32768).contains(&as_i32) {
+        // 16-bit sign-extended.
+        16
+    } else if word & 0xFFFF == 0 {
+        // Halfword padded with a zero halfword.
+        16
+    } else if {
+        let lo = word & 0xFFFF;
+        let hi = word >> 16;
+        (lo as i16 as i32 >= -128 && (lo as i16 as i32) < 128)
+            && (hi as i16 as i32 >= -128 && (hi as i16 as i32) < 128)
+    } {
+        // Two halfwords, each a sign-extended byte.
+        16
+    } else if word.to_le_bytes().windows(2).all(|w| w[0] == w[1]) {
+        // Word consisting of repeated bytes.
+        8
+    } else {
+        // Uncompressed word.
+        32
+    }
+}
+
+/// Compressed size of one cache line under plain FPC, in bits.
+pub fn fpc_line_bits(line: &[u8; LINE_BYTES]) -> usize {
+    words_of(line)
+        .iter()
+        .map(|&w| PREFIX_BITS + fpc_payload_bits(w))
+        .sum()
+}
+
+/// Compressed size of one cache line under FPC-D, in bytes, including the
+/// 8-byte line prefix. The result is capped at the uncompressed line size
+/// (an incompressible line is stored raw).
+pub fn fpcd_line_bytes(line: &[u8; LINE_BYTES]) -> usize {
+    let mut dict: [u32; FPCD_DICT_ENTRIES] = [0; FPCD_DICT_ENTRIES];
+    let mut dict_len = 0usize;
+    let mut bits = 0usize;
+    for &w in &words_of(line) {
+        let dict_hit = dict[..dict_len].contains(&w) && w != 0;
+        if dict_hit {
+            // Prefix + 2-bit dictionary index.
+            bits += PREFIX_BITS + 2;
+            continue;
+        }
+        bits += PREFIX_BITS + fpc_payload_bits(w);
+        if w != 0 && fpc_payload_bits(w) == 32 {
+            // Insert uncompressible words into the dictionary (FIFO).
+            if dict_len < FPCD_DICT_ENTRIES {
+                dict[dict_len] = w;
+                dict_len += 1;
+            } else {
+                dict.rotate_left(1);
+                dict[FPCD_DICT_ENTRIES - 1] = w;
+            }
+        }
+    }
+    (FPCD_LINE_PREFIX_BYTES + bits.div_ceil(8)).min(LINE_BYTES)
+}
+
+/// Average FPC-D compressed line size over a buffer, in bytes.
+pub fn fpcd_average_line_bytes(data: &[f32]) -> f64 {
+    let mut total = 0usize;
+    let mut lines = 0usize;
+    for line in crate::line::lines_of(data) {
+        total += fpcd_line_bytes(&line);
+        lines += 1;
+    }
+    if lines == 0 {
+        LINE_BYTES as f64
+    } else {
+        total as f64 / lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::lines_of;
+
+    fn line_from(words: [u32; WORDS_PER_LINE]) -> [u8; LINE_BYTES] {
+        let mut line = [0u8; LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            line[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        line
+    }
+
+    #[test]
+    fn zero_line_compresses_hard() {
+        let line = [0u8; LINE_BYTES];
+        // 16 words * (3 prefix + 3 payload) = 96 bits = 12 bytes.
+        assert_eq!(fpc_line_bits(&line), 96);
+        assert_eq!(fpcd_line_bytes(&line), FPCD_LINE_PREFIX_BYTES + 12);
+    }
+
+    #[test]
+    fn random_float_line_is_nearly_incompressible() {
+        let words = [0x3F8C_5A31u32; WORDS_PER_LINE].map(|w| w ^ 0xDEAD);
+        let line = line_from(words);
+        // Every word identical: the first is uncompressed, the rest hit
+        // the FPC-D dictionary.
+        let bytes = fpcd_line_bytes(&line);
+        assert!(bytes < LINE_BYTES / 2, "dictionary must catch repeats: {bytes}");
+    }
+
+    #[test]
+    fn distinct_random_floats_stay_raw() {
+        let mut words = [0u32; WORDS_PER_LINE];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0x3F80_0000 + 0x1357 * (i as u32 + 1); // distinct fp32 patterns
+        }
+        let line = line_from(words);
+        assert_eq!(fpcd_line_bytes(&line), LINE_BYTES, "capped at raw size");
+    }
+
+    #[test]
+    fn small_integers_use_short_patterns() {
+        assert_eq!(fpc_payload_bits(0), 3);
+        assert_eq!(fpc_payload_bits(5), 4);
+        assert_eq!(fpc_payload_bits((-3i32) as u32), 4);
+        assert_eq!(fpc_payload_bits(100), 8);
+        assert_eq!(fpc_payload_bits(30_000), 16);
+        assert_eq!(fpc_payload_bits(0xABAB_ABAB), 8); // repeated bytes
+        assert_eq!(fpc_payload_bits(0x1234_0000), 16); // low half zero... high half used
+    }
+
+    #[test]
+    fn half_sparse_activations_give_middling_ratio() {
+        // 50% zero words, 50% arbitrary floats: the zero words shrink, the
+        // floats stay raw. Expect a ratio well below ZCOMP's on the same
+        // data (Fig. 15's finding).
+        let data: Vec<f32> = (0..4096)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.234 + i as f32 })
+            .collect();
+        let avg = fpcd_average_line_bytes(&data);
+        let ratio = LINE_BYTES as f64 / avg;
+        assert!((1.0..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn average_of_empty_buffer_is_raw_line() {
+        assert_eq!(fpcd_average_line_bytes(&[]), LINE_BYTES as f64);
+    }
+
+    #[test]
+    fn fpcd_never_exceeds_line_size() {
+        let data: Vec<f32> = (0..1024).map(|i| (i as f32).sin() * 1e7).collect();
+        for line in lines_of(&data) {
+            assert!(fpcd_line_bytes(&line) <= LINE_BYTES);
+        }
+    }
+}

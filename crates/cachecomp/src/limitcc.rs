@@ -1,0 +1,79 @@
+//! LimitCC — the upper-bound cache-compression architecture of §5.4.
+//!
+//! "We also show the upper bound cache compression ratio (LimitCC)
+//! assuming we can compress cache lines to arbitrary sizes (at a byte
+//! granularity), and compress as many lines as possible in a cache set
+//! regardless of physical cache line boundaries." Lines are compressed
+//! with FPC-D.
+
+use crate::fpc::fpcd_line_bytes;
+use crate::line::{lines_of, LINE_BYTES};
+
+/// Compression ratio achieved by LimitCC on a buffer: uncompressed bytes
+/// over the byte-granularity sum of FPC-D line sizes.
+///
+/// Returns 1.0 for an empty buffer.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_cachecomp::limitcc::limitcc_ratio;
+///
+/// let zeros = vec![0.0f32; 1024];
+/// assert!(limitcc_ratio(&zeros) > 2.0);
+/// ```
+pub fn limitcc_ratio(data: &[f32]) -> f64 {
+    let mut compressed = 0usize;
+    let mut lines = 0usize;
+    for line in lines_of(data) {
+        compressed += fpcd_line_bytes(&line);
+        lines += 1;
+    }
+    if lines == 0 {
+        1.0
+    } else {
+        (lines * LINE_BYTES) as f64 / compressed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_ratio_is_line_over_prefix_plus_zero_codes() {
+        let zeros = vec![0.0f32; 4096];
+        // 64 / (8 prefix + 12 zero-coded payload) = 3.2
+        let r = limitcc_ratio(&zeros);
+        assert!((r - 3.2).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn dense_random_data_barely_compresses() {
+        let data: Vec<f32> = (0..4096).map(|i| 1.0 + (i as f32) * 0.731).collect();
+        let r = limitcc_ratio(&data);
+        assert!(r <= 1.05, "got {r}");
+    }
+
+    #[test]
+    fn empty_buffer_ratio_is_one() {
+        assert_eq!(limitcc_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn ratio_grows_with_sparsity() {
+        let make = |sparsity_num: usize| -> Vec<f32> {
+            (0..8192)
+                .map(|i| {
+                    if i % 10 < sparsity_num {
+                        0.0
+                    } else {
+                        1.0 + i as f32
+                    }
+                })
+                .collect()
+        };
+        assert!(limitcc_ratio(&make(8)) > limitcc_ratio(&make(4)));
+        assert!(limitcc_ratio(&make(4)) > limitcc_ratio(&make(1)));
+    }
+}

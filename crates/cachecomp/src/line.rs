@@ -1,0 +1,70 @@
+//! Cache-line views over data buffers.
+
+/// Size of a cache line in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// Number of 32-bit words per line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / 4;
+
+/// Iterates over the 64-byte cache lines of an `f32` buffer.
+///
+/// The final partial line (if any) is zero-padded, as resident cache data
+/// would be.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_cachecomp::line::lines_of;
+///
+/// let data = vec![1.0f32; 20]; // 80 bytes -> 2 lines
+/// let lines: Vec<_> = lines_of(&data).collect();
+/// assert_eq!(lines.len(), 2);
+/// assert_eq!(lines[1][63], 0, "padding is zero");
+/// ```
+pub fn lines_of(data: &[f32]) -> impl Iterator<Item = [u8; LINE_BYTES]> + '_ {
+    let total_lines = data.len().div_ceil(WORDS_PER_LINE);
+    (0..total_lines).map(move |i| {
+        let mut line = [0u8; LINE_BYTES];
+        let start = i * WORDS_PER_LINE;
+        for (w, v) in data[start..data.len().min(start + WORDS_PER_LINE)]
+            .iter()
+            .enumerate()
+        {
+            line[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        line
+    })
+}
+
+/// Extracts the 16 little-endian 32-bit words of a line.
+pub fn words_of(line: &[u8; LINE_BYTES]) -> [u32; WORDS_PER_LINE] {
+    let mut out = [0u32; WORDS_PER_LINE];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = u32::from_le_bytes(line[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_has_no_lines() {
+        assert_eq!(lines_of(&[]).count(), 0);
+    }
+
+    #[test]
+    fn exact_line_count() {
+        let data = vec![0.0f32; 32];
+        assert_eq!(lines_of(&data).count(), 2);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let line = lines_of(&data).next().expect("one line");
+        let words = words_of(&line);
+        assert_eq!(f32::from_bits(words[3]), 3.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Extension: full training-epoch time projection.
+//!
+//! The paper evaluates per-step behaviour; this extension projects a
+//! whole epoch over the §5.3 datasets (Oxford Flowers and the
+//! 100k-image ImageNet subset): steps per epoch × simulated step time,
+//! per scheme. The *relative* numbers match Fig. 14 by construction; the
+//! absolute seconds show what an 11% training speedup means at epoch
+//! scale.
+
+use serde::{Deserialize, Serialize};
+use zcomp_dnn::dataset::Dataset;
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::sparsity::SparsityModel;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::layer_exec::Scheme;
+use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+use crate::report::Table;
+
+/// One (network, scheme) epoch projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRow {
+    /// Network.
+    pub model: ModelId,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Batch used for the simulated step.
+    pub batch: usize,
+    /// Steps per epoch on the dataset.
+    pub steps: usize,
+    /// Simulated seconds per step.
+    pub step_seconds: f64,
+    /// Projected seconds per epoch.
+    pub epoch_seconds: f64,
+}
+
+/// Result of the epoch projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochResult {
+    /// Dataset projected over.
+    pub dataset: Dataset,
+    /// Rows per network and scheme.
+    pub rows: Vec<EpochRow>,
+}
+
+impl EpochResult {
+    /// Renders the projection table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Extension: epoch time projection on {}", self.dataset.name),
+            &["network", "scheme", "batch", "steps", "s/step", "s/epoch"],
+        );
+        for r in &self.rows {
+            t.row([
+                r.model.to_string(),
+                r.scheme.to_string(),
+                r.batch.to_string(),
+                r.steps.to_string(),
+                format!("{:.4}", r.step_seconds),
+                format!("{:.1}", r.epoch_seconds),
+            ]);
+        }
+        t
+    }
+
+    /// Epoch speedup of zcomp over the baseline for a network.
+    pub fn speedup(&self, model: ModelId) -> f64 {
+        let get = |scheme: Scheme| {
+            self.rows
+                .iter()
+                .find(|r| r.model == model && r.scheme == scheme)
+                .expect("row exists")
+                .epoch_seconds
+        };
+        get(Scheme::None) / get(Scheme::Zcomp)
+    }
+}
+
+/// Projects epoch times for the given networks on a dataset.
+///
+/// `batch_divisor` scales the paper's training batch down for quick runs;
+/// steps per epoch always use the *paper's* batch so the projection stays
+/// meaningful.
+pub fn run(dataset: Dataset, models: &[ModelId], batch_divisor: usize) -> EpochResult {
+    let mut rows = Vec::new();
+    for &model in models {
+        let paper_batch = model.training_batch();
+        let batch = (paper_batch / batch_divisor.max(1)).max(1);
+        let net = model.build(batch);
+        let profile = SparsityModel::default().profile(&net, 50);
+        let steps = dataset.steps_per_epoch(paper_batch);
+        for scheme in [Scheme::None, Scheme::Avx512Comp, Scheme::Zcomp] {
+            let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+            let result = run_network(
+                &mut machine,
+                &net,
+                &profile,
+                &NetworkExecOpts {
+                    scheme,
+                    training: true,
+                    ..NetworkExecOpts::default()
+                },
+            );
+            // Scale the reduced-batch step time back to the paper batch
+            // (streaming phases scale linearly in batch).
+            let step_seconds = result.summary.seconds * (paper_batch / batch) as f64;
+            rows.push(EpochRow {
+                model,
+                scheme,
+                batch,
+                steps,
+                step_seconds,
+                epoch_seconds: step_seconds * steps as f64,
+            });
+        }
+    }
+    EpochResult { dataset, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_structure() {
+        let r = run(Dataset::oxford_flowers(), &[ModelId::Resnet32], 32);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows.iter().all(|row| row.epoch_seconds > 0.0));
+        assert_eq!(r.rows[0].steps, Dataset::oxford_flowers().steps_per_epoch(128));
+    }
+
+    #[test]
+    fn zcomp_shortens_epochs() {
+        let r = run(Dataset::oxford_flowers(), &[ModelId::Resnet32], 16);
+        assert!(r.speedup(ModelId::Resnet32) > 1.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(Dataset::oxford_flowers(), &[ModelId::Resnet32], 32);
+        assert!(r.table().render().contains("s/epoch"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 1 — VGG-16 feature-map sparsity and footprint characteristics.
+//!
+//! (a) Per-layer zero-value ratio across training epochs (batch 64).
+//! (b) Per-layer feature-map vs weight memory footprint.
+
+use serde::{Deserialize, Serialize};
+use zcomp_dnn::models::vgg16;
+use zcomp_dnn::sparsity::SparsityModel;
+use zcomp_dnn::training::layer_footprints;
+
+use crate::report::{fmt_bytes, pct, Table};
+
+/// One layer's row in Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Layer name.
+    pub layer: String,
+    /// Zero ratio at each sampled epoch.
+    pub zero_ratio_by_epoch: Vec<f64>,
+    /// Feature-map footprint in bytes.
+    pub feature_map_bytes: u64,
+    /// Weight footprint in bytes.
+    pub weight_bytes: u64,
+}
+
+/// Complete Figure 1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Sampled training epochs.
+    pub epochs: Vec<usize>,
+    /// Per-layer rows in network order.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1Result {
+    /// Renders Fig. 1(a): zero ratio per layer per epoch.
+    pub fn table_sparsity(&self) -> Table {
+        let mut headers = vec!["layer".to_string()];
+        headers.extend(self.epochs.iter().map(|e| format!("epoch{e}")));
+        let mut t = Table {
+            title: "Figure 1(a): VGG-16 per-layer zero ratio (batch 64)".into(),
+            headers,
+            rows: Vec::new(),
+        };
+        for r in &self.rows {
+            let mut cells = vec![r.layer.clone()];
+            cells.extend(r.zero_ratio_by_epoch.iter().map(|&z| pct(z)));
+            t.rows.push(cells);
+        }
+        t
+    }
+
+    /// Renders Fig. 1(b): footprints per layer.
+    pub fn table_footprint(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 1(b): VGG-16 per-layer feature-map vs weight footprint",
+            &["layer", "feature_map", "weights"],
+        );
+        for r in &self.rows {
+            t.row([
+                r.layer.clone(),
+                fmt_bytes(r.feature_map_bytes),
+                fmt_bytes(r.weight_bytes),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the Figure 1 analysis.
+pub fn run(batch: usize, epochs: &[usize]) -> Fig1Result {
+    let net = vgg16(batch);
+    let model = SparsityModel::default();
+    let profiles: Vec<_> = epochs.iter().map(|&e| model.profile(&net, e)).collect();
+    let footprints = layer_footprints(&net);
+    let rows = net
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| Fig1Row {
+            layer: layer.name.clone(),
+            zero_ratio_by_epoch: profiles.iter().map(|p| p.per_layer[i]).collect(),
+            feature_map_bytes: footprints[i].1,
+            weight_bytes: footprints[i].2,
+        })
+        .collect();
+    Fig1Result {
+        epochs: epochs.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_vgg_layer_and_epoch() {
+        let r = run(64, &[1, 30, 90]);
+        assert_eq!(r.rows.len(), vgg16(64).layers.len());
+        assert!(r.rows.iter().all(|x| x.zero_ratio_by_epoch.len() == 3));
+    }
+
+    #[test]
+    fn early_layers_dominate_feature_maps() {
+        let r = run(64, &[30]);
+        let conv1 = &r.rows[0];
+        assert!(conv1.feature_map_bytes > 100 << 20);
+        assert!(conv1.weight_bytes < 1 << 20);
+        let fc6 = r.rows.iter().find(|x| x.layer == "fc6").expect("fc6");
+        assert!(fc6.weight_bytes > fc6.feature_map_bytes);
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = run(8, &[1, 90]);
+        assert!(r.table_sparsity().render().contains("conv1_1"));
+        assert!(r.table_footprint().render().contains("fc8"));
+    }
+
+    #[test]
+    fn sparsity_exists_at_all_layers() {
+        // Fig. 1: "feature map sparsity exists at all network layers".
+        let r = run(64, &[90]);
+        for row in &r.rows {
+            assert!(
+                row.zero_ratio_by_epoch[0] > 0.0,
+                "{} has no sparsity",
+                row.layer
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 3 — memory footprint of key data structures per DNN.
+
+use serde::{Deserialize, Serialize};
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::training::{training_footprint, MemoryFootprint};
+
+use crate::report::{fmt_bytes, pct, Table};
+
+/// One network's footprint row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Network.
+    pub model: ModelId,
+    /// Batch used (the paper's: 64, ResNet 128).
+    pub batch: usize,
+    /// Footprint breakdown.
+    pub footprint: MemoryFootprint,
+}
+
+/// Complete Figure 3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Per-network rows.
+    pub rows: Vec<Fig3Row>,
+}
+
+impl Fig3Result {
+    /// Renders the footprint table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 3: memory footprint of key data structures (training)",
+            &[
+                "network",
+                "batch",
+                "inputs",
+                "weights",
+                "weight_grads",
+                "feature_maps",
+                "gradient_maps",
+                "fm_share",
+            ],
+        );
+        for r in &self.rows {
+            let f = &r.footprint;
+            t.row([
+                r.model.to_string(),
+                r.batch.to_string(),
+                fmt_bytes(f.inputs_bytes),
+                fmt_bytes(f.weights_bytes),
+                fmt_bytes(f.weight_grads_bytes),
+                fmt_bytes(f.feature_maps_bytes),
+                fmt_bytes(f.gradient_maps_bytes),
+                pct(f.feature_map_fraction()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the Figure 3 analysis at the paper's batch sizes.
+pub fn run() -> Fig3Result {
+    let rows = ModelId::ALL
+        .iter()
+        .map(|&model| {
+            let batch = model.training_batch();
+            let net = model.build(batch);
+            Fig3Row {
+                model,
+                batch,
+                footprint: training_footprint(&net),
+            }
+        })
+        .collect();
+    Fig3Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_maps_are_majority_for_most_networks() {
+        // §2.3: "cross-layer feature map data accounts for the majority of
+        // the memory footprint". AlexNet is the FC-heavy outlier where
+        // weights rival maps.
+        let r = run();
+        let majority = r
+            .rows
+            .iter()
+            .filter(|row| row.footprint.feature_map_fraction() > 0.45)
+            .count();
+        assert!(majority >= 4, "{majority}/5 networks feature-map-majority");
+    }
+
+    #[test]
+    fn batches_match_paper() {
+        let r = run();
+        for row in &r.rows {
+            let expect = if row.model == ModelId::Resnet32 { 128 } else { 64 };
+            assert_eq!(row.batch, expect, "{}", row.model);
+        }
+    }
+
+    #[test]
+    fn table_renders_shares() {
+        let text = run().table().render();
+        assert!(text.contains("vgg-16"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,284 @@
+//! Figures 13 and 14 — full-network data-traffic reduction and speedup.
+//!
+//! Five networks, training (batch 64; ResNet 128) and inference
+//! (batch 4), three schemes. Paper results: average traffic reductions of
+//! 31%/23% (zcomp, training/inference) and 26%/19% (avx512-comp);
+//! speedups of 11%/3% for zcomp vs 4%/−2% for avx512-comp, with
+//! avx512-comp slowing down 5 of 10 benchmarks.
+
+use serde::{Deserialize, Serialize};
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::sparsity::SparsityModel;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::layer_exec::Scheme;
+use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+use crate::report::{mean, pct, Table};
+
+/// Training or inference column group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Forward + backward, large batch.
+    Training,
+    /// Forward only, batch 4.
+    Inference,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::Training => "training",
+            Mode::Inference => "inference",
+        })
+    }
+}
+
+/// Measurements of one (network, mode, scheme) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullNetCell {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Total cache-hierarchy traffic in bytes (demand + inter-level
+    /// fills).
+    pub onchip_bytes: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Wall cycles for one step.
+    pub cycles: f64,
+    /// Memory-stall fraction.
+    pub memory_fraction: f64,
+}
+
+/// One (network, mode) row with all three schemes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullNetRow {
+    /// Network.
+    pub model: ModelId,
+    /// Training or inference.
+    pub mode: Mode,
+    /// Batch size used.
+    pub batch: usize,
+    /// One cell per scheme.
+    pub cells: Vec<FullNetCell>,
+}
+
+impl FullNetRow {
+    fn cell(&self, scheme: Scheme) -> &FullNetCell {
+        self.cells
+            .iter()
+            .find(|c| c.scheme == scheme)
+            .expect("every scheme measured")
+    }
+
+    /// Traffic reduction of `scheme` vs the baseline (Fig. 13's metric).
+    pub fn traffic_reduction(&self, scheme: Scheme) -> f64 {
+        1.0 - self.cell(scheme).onchip_bytes as f64
+            / self.cell(Scheme::None).onchip_bytes as f64
+    }
+
+    /// Speedup of `scheme` over the baseline (Fig. 14's metric).
+    pub fn speedup(&self, scheme: Scheme) -> f64 {
+        self.cell(Scheme::None).cycles / self.cell(scheme).cycles
+    }
+}
+
+/// Complete Figures 13/14 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullNetResult {
+    /// All (network, mode) rows.
+    pub rows: Vec<FullNetRow>,
+}
+
+/// Aggregate summary in the shape of the paper's §5.3 text.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullNetSummary {
+    /// Mean zcomp traffic reduction in training (paper: 31%).
+    pub zcomp_train_traffic: f64,
+    /// Mean zcomp traffic reduction in inference (paper: 23%).
+    pub zcomp_infer_traffic: f64,
+    /// Mean avx512-comp traffic reduction in training (paper: 26%).
+    pub avx_train_traffic: f64,
+    /// Mean avx512-comp traffic reduction in inference (paper: 19%).
+    pub avx_infer_traffic: f64,
+    /// Mean zcomp speedup in training (paper: 1.11x).
+    pub zcomp_train_speedup: f64,
+    /// Mean zcomp speedup in inference (paper: 1.03x).
+    pub zcomp_infer_speedup: f64,
+    /// Mean avx512-comp speedup in training (paper: 1.04x).
+    pub avx_train_speedup: f64,
+    /// Mean avx512-comp speedup in inference (paper: 0.98x).
+    pub avx_infer_speedup: f64,
+    /// Benchmarks (of 10) that avx512-comp slows down (paper: 5).
+    pub avx_slowdowns: usize,
+}
+
+impl FullNetResult {
+    /// Computes the aggregate summary.
+    pub fn summary(&self) -> FullNetSummary {
+        let sel = |mode: Mode, f: &dyn Fn(&FullNetRow) -> f64| -> Vec<f64> {
+            self.rows
+                .iter()
+                .filter(|r| r.mode == mode)
+                .map(f)
+                .collect()
+        };
+        FullNetSummary {
+            zcomp_train_traffic: mean(&sel(Mode::Training, &|r| {
+                r.traffic_reduction(Scheme::Zcomp)
+            })),
+            zcomp_infer_traffic: mean(&sel(Mode::Inference, &|r| {
+                r.traffic_reduction(Scheme::Zcomp)
+            })),
+            avx_train_traffic: mean(&sel(Mode::Training, &|r| {
+                r.traffic_reduction(Scheme::Avx512Comp)
+            })),
+            avx_infer_traffic: mean(&sel(Mode::Inference, &|r| {
+                r.traffic_reduction(Scheme::Avx512Comp)
+            })),
+            zcomp_train_speedup: mean(&sel(Mode::Training, &|r| r.speedup(Scheme::Zcomp))),
+            zcomp_infer_speedup: mean(&sel(Mode::Inference, &|r| r.speedup(Scheme::Zcomp))),
+            avx_train_speedup: mean(&sel(Mode::Training, &|r| r.speedup(Scheme::Avx512Comp))),
+            avx_infer_speedup: mean(&sel(Mode::Inference, &|r| r.speedup(Scheme::Avx512Comp))),
+            avx_slowdowns: self
+                .rows
+                .iter()
+                .filter(|r| r.speedup(Scheme::Avx512Comp) < 1.0)
+                .count(),
+        }
+    }
+
+    /// Renders Fig. 13 (traffic reduction).
+    pub fn table_traffic(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 13: full-network data traffic reduction vs baseline",
+            &["network", "mode", "avx512-comp", "zcomp"],
+        );
+        for r in &self.rows {
+            t.row([
+                r.model.to_string(),
+                r.mode.to_string(),
+                pct(r.traffic_reduction(Scheme::Avx512Comp)),
+                pct(r.traffic_reduction(Scheme::Zcomp)),
+            ]);
+        }
+        t
+    }
+
+    /// Renders Fig. 14 (speedup).
+    pub fn table_speedup(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 14: full-network speedup vs baseline",
+            &["network", "mode", "avx512-comp", "zcomp"],
+        );
+        for r in &self.rows {
+            t.row([
+                r.model.to_string(),
+                r.mode.to_string(),
+                format!("{:.3}x", r.speedup(Scheme::Avx512Comp)),
+                format!("{:.3}x", r.speedup(Scheme::Zcomp)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the full-network experiments.
+///
+/// `batch_divisor` scales training batches down for quick runs (1 = the
+/// paper's sizes). Inference always uses batch 4, the paper's choice.
+pub fn run(batch_divisor: usize) -> FullNetResult {
+    let mut rows = Vec::new();
+    for model in ModelId::ALL {
+        for mode in [Mode::Training, Mode::Inference] {
+            let batch = match mode {
+                Mode::Training => (model.training_batch() / batch_divisor.max(1)).max(1),
+                Mode::Inference => model.inference_batch(),
+            };
+            let net = model.build(batch);
+            let profile = SparsityModel::default().profile(&net, 50);
+            let mut cells = Vec::new();
+            for scheme in [Scheme::None, Scheme::Avx512Comp, Scheme::Zcomp] {
+                let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+                let result = run_network(
+                    &mut machine,
+                    &net,
+                    &profile,
+                    &NetworkExecOpts {
+                        scheme,
+                        training: mode == Mode::Training,
+                        ..NetworkExecOpts::default()
+                    },
+                );
+                cells.push(FullNetCell {
+                    scheme,
+                    onchip_bytes: result.summary.traffic.onchip_bytes(),
+                    dram_bytes: result.summary.traffic.dram_bytes,
+                    cycles: result.summary.wall_cycles,
+                    memory_fraction: result.summary.breakdown.memory_fraction(),
+                });
+            }
+            rows.push(FullNetRow {
+                model,
+                mode,
+                batch,
+                cells,
+            });
+        }
+    }
+    FullNetResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The scaled-down run is expensive; share it across tests.
+    fn quick() -> &'static FullNetResult {
+        static RESULT: OnceLock<FullNetResult> = OnceLock::new();
+        RESULT.get_or_init(|| run(16))
+    }
+
+    #[test]
+    fn ten_rows_two_modes() {
+        let r = quick();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows.iter().filter(|r| r.mode == Mode::Training).count(), 5);
+    }
+
+    #[test]
+    fn zcomp_reduces_traffic_in_training() {
+        let r = quick();
+        for row in r.rows.iter().filter(|r| r.mode == Mode::Training) {
+            assert!(
+                row.traffic_reduction(Scheme::Zcomp) > 0.05,
+                "{}: {}",
+                row.model,
+                row.traffic_reduction(Scheme::Zcomp)
+            );
+        }
+    }
+
+    #[test]
+    fn training_gains_exceed_inference_gains() {
+        let s = quick().summary();
+        assert!(s.zcomp_train_traffic > s.zcomp_infer_traffic);
+        assert!(s.zcomp_train_speedup >= s.zcomp_infer_speedup * 0.98);
+    }
+
+    #[test]
+    fn zcomp_beats_avx512_comp() {
+        let s = quick().summary();
+        assert!(s.zcomp_train_traffic > s.avx_train_traffic);
+        assert!(s.zcomp_train_speedup > s.avx_train_speedup);
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = quick();
+        assert!(r.table_traffic().render().contains("zcomp"));
+        assert!(r.table_speedup().render().contains('x'));
+    }
+}

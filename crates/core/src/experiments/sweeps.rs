@@ -1,0 +1,206 @@
+//! Extension sweeps beyond the paper's figures.
+//!
+//! * [`sparsity_sweep`] — how the three schemes' traffic and runtime react
+//!   as feature-map sparsity varies. The paper evaluates at its measured
+//!   ~53%; the sweep exposes the crossover where compression stops paying
+//!   (related to the §4.1 break-even analysis).
+//! * [`batch_sweep`] — feature-map vs weight footprint share as the batch
+//!   grows, supporting §2.3: "the use of larger batch sizes will cause
+//!   further increases in the feature map footprint relative to the
+//!   weight footprint".
+
+use serde::{Deserialize, Serialize};
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::training::training_footprint;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+use crate::report::{pct, Table};
+
+/// One sparsity point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsityPoint {
+    /// Input sparsity.
+    pub sparsity: f64,
+    /// Baseline runtime in cycles.
+    pub baseline_cycles: f64,
+    /// zcomp runtime in cycles.
+    pub zcomp_cycles: f64,
+    /// avx512-comp runtime in cycles.
+    pub avx_cycles: f64,
+    /// zcomp core-traffic reduction vs baseline.
+    pub zcomp_traffic_reduction: f64,
+}
+
+/// Result of the sparsity sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsitySweepResult {
+    /// Points in increasing sparsity.
+    pub points: Vec<SparsityPoint>,
+}
+
+impl SparsitySweepResult {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Extension: scheme sensitivity to feature-map sparsity",
+            &[
+                "sparsity",
+                "baseline_cycles",
+                "avx512comp_cycles",
+                "zcomp_cycles",
+                "zcomp_speedup",
+                "traffic_cut",
+            ],
+        );
+        for p in &self.points {
+            t.row([
+                format!("{:.0}%", p.sparsity * 100.0),
+                format!("{:.0}", p.baseline_cycles),
+                format!("{:.0}", p.avx_cycles),
+                format!("{:.0}", p.zcomp_cycles),
+                format!("{:.2}x", p.baseline_cycles / p.zcomp_cycles),
+                pct(p.zcomp_traffic_reduction),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps ReLU-layer performance across input sparsities.
+pub fn sparsity_sweep(elements: usize, sparsities: &[f64]) -> SparsitySweepResult {
+    let points = sparsities
+        .iter()
+        .map(|&s| {
+            let nnz = nnz_synthetic(elements, s, 6.0, 0x5EE9);
+            let run = |scheme| {
+                let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+                let r = run_relu(&mut machine, scheme, &nnz, &ReluOpts::default());
+                (r.total_cycles(), machine.summary().traffic.core_bytes())
+            };
+            let (base_cycles, base_traffic) = run(ReluScheme::Avx512Vec);
+            let (avx_cycles, _) = run(ReluScheme::Avx512Comp);
+            let (zcomp_cycles, zcomp_traffic) = run(ReluScheme::Zcomp);
+            SparsityPoint {
+                sparsity: s,
+                baseline_cycles: base_cycles,
+                zcomp_cycles,
+                avx_cycles,
+                zcomp_traffic_reduction: 1.0 - zcomp_traffic as f64 / base_traffic as f64,
+            }
+        })
+        .collect();
+    SparsitySweepResult { points }
+}
+
+/// One batch point of the footprint sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// Feature-map bytes (training, forward accumulation).
+    pub feature_map_bytes: u64,
+    /// Weight bytes (batch-independent).
+    pub weight_bytes: u64,
+    /// Feature-map share of the training footprint.
+    pub feature_map_share: f64,
+}
+
+/// Result of the batch sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSweepResult {
+    /// Swept network.
+    pub model: ModelId,
+    /// Points in increasing batch size.
+    pub points: Vec<BatchPoint>,
+}
+
+impl BatchSweepResult {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Extension: batch-size effect on {} footprints", self.model),
+            &["batch", "feature_maps_mb", "weights_mb", "fm_share"],
+        );
+        for p in &self.points {
+            t.row([
+                p.batch.to_string(),
+                (p.feature_map_bytes >> 20).to_string(),
+                (p.weight_bytes >> 20).to_string(),
+                pct(p.feature_map_share),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the feature-map/weight footprint balance across batch sizes.
+pub fn batch_sweep(model: ModelId, batches: &[usize]) -> BatchSweepResult {
+    let points = batches
+        .iter()
+        .map(|&batch| {
+            let net = model.build(batch);
+            let fp = training_footprint(&net);
+            BatchPoint {
+                batch,
+                feature_map_bytes: fp.feature_maps_bytes,
+                weight_bytes: fp.weights_bytes,
+                feature_map_share: fp.feature_map_fraction(),
+            }
+        })
+        .collect();
+    BatchSweepResult { model, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcomp_gain_grows_with_sparsity() {
+        // 8 MB keeps the steady-state iterations bandwidth-bound (smaller
+        // maps become launch-overhead-dominated and the speedups tie).
+        let r = sparsity_sweep(2 << 20, &[0.1, 0.5, 0.9]);
+        let speedup = |p: &SparsityPoint| p.baseline_cycles / p.zcomp_cycles;
+        assert!(
+            speedup(&r.points[2]) > speedup(&r.points[0]),
+            "s=0.9 {} vs s=0.1 {}",
+            speedup(&r.points[2]),
+            speedup(&r.points[0])
+        );
+        assert!(r.points[2].zcomp_traffic_reduction > r.points[0].zcomp_traffic_reduction);
+    }
+
+    #[test]
+    fn feature_map_share_grows_with_batch() {
+        // §2.3's claim, on the FC-heavy network where it is most visible.
+        let r = batch_sweep(ModelId::Alexnet, &[1, 16, 64, 256]);
+        let shares: Vec<f64> = r.points.iter().map(|p| p.feature_map_share).collect();
+        assert!(
+            shares.windows(2).all(|w| w[1] > w[0]),
+            "shares must increase: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn weights_are_batch_independent() {
+        let r = batch_sweep(ModelId::Vgg16, &[1, 8]);
+        assert_eq!(r.points[0].weight_bytes, r.points[1].weight_bytes);
+        assert!(r.points[1].feature_map_bytes > r.points[0].feature_map_bytes);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(sparsity_sweep(64 * 1024, &[0.5])
+            .table()
+            .render()
+            .contains("50%"));
+        assert!(batch_sweep(ModelId::Resnet32, &[1, 2])
+            .table()
+            .render()
+            .contains("resnet-32"));
+    }
+}

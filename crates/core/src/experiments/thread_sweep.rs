@@ -1,0 +1,140 @@
+//! Extension: thread-count scalability of the ReLU kernels.
+//!
+//! §4.3 argues the partitioned strategy scales because "with enough
+//! chunks that can sustain the available cache/memory bandwidth, the
+//! throughput problem can be mitigated" — this sweep measures where each
+//! scheme saturates (issue-bound schemes scale further; DRAM-bound
+//! configurations flatten once bandwidth saturates).
+
+use serde::{Deserialize, Serialize};
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+use crate::report::Table;
+
+/// One (threads, scheme) measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scheme measured.
+    pub scheme: ReluScheme,
+    /// Runtime in cycles.
+    pub cycles: f64,
+}
+
+/// Result of the thread sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSweepResult {
+    /// Feature-map elements simulated.
+    pub elements: usize,
+    /// All measurements.
+    pub points: Vec<ThreadPoint>,
+}
+
+impl ThreadSweepResult {
+    /// Cycles for a (threads, scheme) pair.
+    pub fn cycles(&self, threads: usize, scheme: ReluScheme) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads && p.scheme == scheme)
+            .expect("measured point")
+            .cycles
+    }
+
+    /// Parallel speedup of a scheme from 1 thread to `threads`.
+    pub fn scaling(&self, threads: usize, scheme: ReluScheme) -> f64 {
+        self.cycles(1, scheme) / self.cycles(threads, scheme)
+    }
+
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Extension: thread scalability ({} MB feature map)",
+                self.elements * 4 >> 20
+            ),
+            &["threads", "avx512-vec", "avx512-comp", "zcomp", "zcomp_scaling"],
+        );
+        let threads: Vec<usize> = {
+            let mut v: Vec<usize> = self.points.iter().map(|p| p.threads).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for &n in &threads {
+            t.row([
+                n.to_string(),
+                format!("{:.0}", self.cycles(n, ReluScheme::Avx512Vec)),
+                format!("{:.0}", self.cycles(n, ReluScheme::Avx512Comp)),
+                format!("{:.0}", self.cycles(n, ReluScheme::Zcomp)),
+                format!("{:.2}x", self.scaling(n, ReluScheme::Zcomp)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps thread counts for all three schemes on one feature map.
+pub fn run(elements: usize, thread_counts: &[usize]) -> ThreadSweepResult {
+    let nnz = nnz_synthetic(elements, 0.53, 6.0, 0x7123);
+    let mut points = Vec::new();
+    for &threads in thread_counts {
+        for scheme in [
+            ReluScheme::Avx512Vec,
+            ReluScheme::Avx512Comp,
+            ReluScheme::Zcomp,
+        ] {
+            let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+            let opts = ReluOpts {
+                threads,
+                ..ReluOpts::default()
+            };
+            let cycles = run_relu(&mut machine, scheme, &nnz, &opts).total_cycles();
+            points.push(ThreadPoint {
+                threads,
+                scheme,
+                cycles,
+            });
+        }
+    }
+    ThreadSweepResult { elements, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_never_slower() {
+        let r = run(256 * 1024, &[1, 4, 16]);
+        for scheme in [
+            ReluScheme::Avx512Vec,
+            ReluScheme::Avx512Comp,
+            ReluScheme::Zcomp,
+        ] {
+            let c1 = r.cycles(1, scheme);
+            let c16 = r.cycles(16, scheme);
+            assert!(c16 <= c1, "{scheme}: 16t {c16} vs 1t {c1}");
+        }
+    }
+
+    #[test]
+    fn cache_resident_work_scales_well() {
+        let r = run(256 * 1024, &[1, 8]);
+        assert!(
+            r.scaling(8, ReluScheme::Zcomp) > 3.0,
+            "zcomp 8-thread scaling {}",
+            r.scaling(8, ReluScheme::Zcomp)
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(64 * 1024, &[1, 2]);
+        assert!(r.table().render().contains("zcomp_scaling"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Training datasets of the paper's evaluation (§5.3): Oxford Flowers
+//! (1,360 images) and a 100,000-image ImageNet subset.
+
+use serde::{Deserialize, Serialize};
+
+/// A training dataset: enough structure to project epochs into steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// Number of training images.
+    pub images: usize,
+}
+
+impl Dataset {
+    /// Oxford Flowers-17: 1,360 images (§5.3).
+    pub fn oxford_flowers() -> Self {
+        Dataset {
+            name: "oxford-flowers".into(),
+            images: 1_360,
+        }
+    }
+
+    /// The paper's 100,000-image ImageNet subset (§5.3).
+    pub fn imagenet_subset() -> Self {
+        Dataset {
+            name: "imagenet-100k".into(),
+            images: 100_000,
+        }
+    }
+
+    /// Training steps (batches) per epoch at the given batch size,
+    /// counting the final partial batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn steps_per_epoch(&self, batch: usize) -> usize {
+        assert!(batch > 0, "batch must be positive");
+        self.images.div_ceil(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dataset_sizes() {
+        assert_eq!(Dataset::oxford_flowers().images, 1_360);
+        assert_eq!(Dataset::imagenet_subset().images, 100_000);
+    }
+
+    #[test]
+    fn steps_per_epoch_rounds_up() {
+        let d = Dataset::oxford_flowers();
+        assert_eq!(d.steps_per_epoch(64), 22); // 1360/64 = 21.25
+        assert_eq!(d.steps_per_epoch(1360), 1);
+        assert_eq!(d.steps_per_epoch(1), 1360);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        Dataset::imagenet_subset().steps_per_epoch(0);
+    }
+}

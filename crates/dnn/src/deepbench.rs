@@ -1,0 +1,214 @@
+//! DeepBench tensor shapes for the ReLU activation-layer study (§5.2).
+//!
+//! The paper uses "a total of 44 inputs collected from training and
+//! inference-server suites for convolutional and fully-connected layers"
+//! of Baidu's DeepBench, with input tensor sizes "ranging from only few
+//! KBs up to 560 MBs". This module encodes 44 configurations — eleven per
+//! suite — whose shapes follow the published DeepBench convolution and
+//! GEMM suites (DeepSpeech, VGG, ResNet and speaker-ID kernels); entries
+//! are stored as the *ReLU input tensor shape* (the convolution/GEMM
+//! output), which is what the activation-layer benchmark consumes. Where
+//! the published suites did not include the extreme sizes the paper plots,
+//! nearest-size entries were added so the size spectrum matches the
+//! paper's few-KB–560 MB range.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::ELEM_BYTES;
+
+/// The four DeepBench benchmark groups of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Convolution layers, training shapes.
+    ConvTrain,
+    /// Convolution layers, inference-server shapes (small batches, §5.2:
+    /// feature maps almost always fit in caches).
+    ConvInfer,
+    /// Fully-connected (GEMM) layers, training shapes.
+    FcTrain,
+    /// Fully-connected (GEMM) layers, inference-server shapes.
+    FcInfer,
+}
+
+impl Suite {
+    /// All suites in the paper's plotting order.
+    pub const ALL: [Suite; 4] = [
+        Suite::ConvTrain,
+        Suite::ConvInfer,
+        Suite::FcTrain,
+        Suite::FcInfer,
+    ];
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::ConvTrain => "conv-train",
+            Suite::ConvInfer => "conv-infer",
+            Suite::FcTrain => "fc-train",
+            Suite::FcInfer => "fc-infer",
+        })
+    }
+}
+
+/// One benchmark configuration: the ReLU layer's input tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DeepBenchConfig {
+    /// Suite this entry belongs to.
+    pub suite: Suite,
+    /// Kernel name (source network and layer).
+    pub name: &'static str,
+    /// Elements in the ReLU input tensor.
+    pub elements: usize,
+}
+
+impl DeepBenchConfig {
+    /// Tensor footprint in bytes at fp32.
+    pub fn bytes(&self) -> usize {
+        self.elements * ELEM_BYTES
+    }
+}
+
+const fn conv(suite: Suite, name: &'static str, n: usize, c: usize, h: usize, w: usize) -> DeepBenchConfig {
+    DeepBenchConfig {
+        suite,
+        name,
+        elements: n * c * h * w,
+    }
+}
+
+const fn gemm(suite: Suite, name: &'static str, m: usize, n: usize) -> DeepBenchConfig {
+    DeepBenchConfig {
+        suite,
+        name,
+        elements: m * n,
+    }
+}
+
+/// The 44 evaluated configurations, grouped by suite and sorted by size
+/// within each group (the x-axis ordering of Fig. 12).
+pub fn all_configs() -> Vec<DeepBenchConfig> {
+    use Suite::*;
+    let mut configs = vec![
+        // --- conv-train: DeepSpeech2 / VGG / ResNet training shapes ---
+        conv(ConvTrain, "resnet_conv5x", 16, 512, 7, 7),
+        conv(ConvTrain, "resnet_conv4x", 16, 256, 14, 14),
+        conv(ConvTrain, "resnet_conv3x", 16, 128, 28, 28),
+        conv(ConvTrain, "resnet_conv2x", 16, 64, 56, 56),
+        conv(ConvTrain, "ds2_conv3", 32, 32, 19, 83),
+        conv(ConvTrain, "ds2_conv2", 32, 32, 38, 166),
+        conv(ConvTrain, "vgg_conv3", 64, 256, 56, 56),
+        conv(ConvTrain, "ds2_conv1", 32, 32, 79, 341),
+        conv(ConvTrain, "vgg_conv2", 64, 128, 112, 112),
+        conv(ConvTrain, "vgg_conv1_n32", 32, 64, 224, 224),
+        conv(ConvTrain, "face_conv1", 64, 96, 151, 151),
+        // --- conv-infer: server inference shapes (batch 1-4) ---
+        conv(ConvInfer, "resnet_conv5x_n1", 1, 512, 7, 7),
+        conv(ConvInfer, "resnet_conv4x_n1", 1, 256, 14, 14),
+        conv(ConvInfer, "squeeze_fire9", 1, 512, 13, 13),
+        conv(ConvInfer, "resnet_conv3x_n2", 2, 128, 28, 28),
+        conv(ConvInfer, "ds2_conv3_n4", 4, 32, 19, 83),
+        conv(ConvInfer, "resnet_conv2x_n4", 4, 64, 56, 56),
+        conv(ConvInfer, "ds2_conv2_n4", 4, 32, 38, 166),
+        conv(ConvInfer, "vgg_conv3_n4", 4, 256, 56, 56),
+        conv(ConvInfer, "ds2_conv1_n4", 4, 32, 79, 341),
+        conv(ConvInfer, "vgg_conv2_n4", 4, 128, 112, 112),
+        conv(ConvInfer, "vgg_conv1_n4", 4, 64, 224, 224),
+        // --- fc-train: GEMM training shapes (M x N outputs) ---
+        gemm(FcTrain, "gemm_1760x16", 1760, 16),
+        gemm(FcTrain, "gemm_2048x32", 2048, 32),
+        gemm(FcTrain, "gemm_2560x64", 2560, 64),
+        gemm(FcTrain, "gemm_4096x128", 4096, 128),
+        gemm(FcTrain, "gemm_3072x1024", 3072, 1024),
+        gemm(FcTrain, "gemm_7680x1500", 7680, 1500),
+        gemm(FcTrain, "gemm_3072x7435", 3072, 7435),
+        gemm(FcTrain, "gemm_5124x9124", 5124, 9124),
+        gemm(FcTrain, "gemm_7680x9124", 7680, 9124),
+        gemm(FcTrain, "gemm_8448x12288", 8448, 12288),
+        gemm(FcTrain, "gemm_12288x12288", 12288, 11900),
+        // --- fc-infer: GEMM inference-server shapes ---
+        gemm(FcInfer, "gemm_35x700", 35, 700),
+        gemm(FcInfer, "gemm_512x700", 512, 700),
+        gemm(FcInfer, "gemm_1024x700", 1024, 700),
+        gemm(FcInfer, "gemm_2560x700", 2560, 700),
+        gemm(FcInfer, "gemm_4096x700", 4096, 700),
+        gemm(FcInfer, "gemm_5124x700", 5124, 700),
+        gemm(FcInfer, "gemm_3072x1500", 3072, 1500),
+        gemm(FcInfer, "gemm_7680x1500i", 7680, 1500),
+        gemm(FcInfer, "gemm_7680x2560", 7680, 2560),
+        gemm(FcInfer, "gemm_10752x2560", 10752, 2560),
+        gemm(FcInfer, "gemm_12288x5124", 12288, 5124),
+    ];
+    // Sort within each suite by size, preserving suite order.
+    configs.sort_by_key(|c| (suite_rank(c.suite), c.elements));
+    configs
+}
+
+fn suite_rank(s: Suite) -> usize {
+    Suite::ALL.iter().position(|&x| x == s).expect("known suite")
+}
+
+/// Configurations of one suite, sorted by size.
+pub fn suite_configs(suite: Suite) -> Vec<DeepBenchConfig> {
+    all_configs()
+        .into_iter()
+        .filter(|c| c.suite == suite)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_44_configs() {
+        assert_eq!(all_configs().len(), 44);
+        for suite in Suite::ALL {
+            assert_eq!(suite_configs(suite).len(), 11, "{suite}");
+        }
+    }
+
+    #[test]
+    fn sizes_span_kb_to_560mb() {
+        let configs = all_configs();
+        let min = configs.iter().map(DeepBenchConfig::bytes).min().unwrap();
+        let max = configs.iter().map(DeepBenchConfig::bytes).max().unwrap();
+        assert!(min < 128 * 1024, "smallest is {min} bytes");
+        assert!(
+            (500 << 20..620 << 20).contains(&max),
+            "largest is {} MB, paper says up to 560 MB",
+            max >> 20
+        );
+    }
+
+    #[test]
+    fn each_suite_is_sorted_by_size() {
+        for suite in Suite::ALL {
+            let sizes: Vec<usize> = suite_configs(suite).iter().map(|c| c.elements).collect();
+            let mut sorted = sizes.clone();
+            sorted.sort_unstable();
+            assert_eq!(sizes, sorted, "{suite}");
+        }
+    }
+
+    #[test]
+    fn inference_conv_shapes_are_cache_scale() {
+        // §5.2: "for the conv-infer benchmark group, feature maps of a
+        // single layer almost always fit in caches" (24 MB L3).
+        let l3 = 24 << 20;
+        let fitting = suite_configs(Suite::ConvInfer)
+            .iter()
+            .filter(|c| c.bytes() <= l3)
+            .count();
+        assert!(fitting >= 9, "only {fitting} of 11 fit the L3");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let configs = all_configs();
+        let mut names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), configs.len());
+    }
+}

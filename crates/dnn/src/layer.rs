@@ -1,0 +1,323 @@
+//! Network layers: shape inference, parameter and FLOP accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::{TensorShape, ELEM_BYTES};
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// MAX-POOL.
+    Max,
+    /// AVG-POOL (also used for global average pooling).
+    Avg,
+}
+
+/// The kind of a network layer, with its hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolution, optionally fused with a ReLU activation (the common
+    /// CONV+ReLU pair of §2.1).
+    Conv {
+        /// Output channels (filter count).
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Whether a ReLU follows (determines output sparsity).
+        relu: bool,
+    },
+    /// Pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window size.
+        size: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding (inception pool branches use pad 1).
+        pad: usize,
+    },
+    /// Fully-connected layer, optionally fused with ReLU.
+    Fc {
+        /// Output features.
+        out_features: usize,
+        /// Whether a ReLU follows.
+        relu: bool,
+    },
+    /// Standalone ReLU activation (identity shape).
+    Relu,
+    /// Local response normalization (identity shape; carries sparsity
+    /// through, §2.2).
+    Lrn,
+    /// Dropout (identity shape; adds zeros at the configured rate during
+    /// training).
+    Dropout {
+        /// Drop probability.
+        p: f64,
+    },
+    /// Channel-wise concatenation of this branch with earlier branches
+    /// (inception modules). The layer's input shape is the concatenated
+    /// shape.
+    Concat,
+    /// Residual elementwise addition (identity shape).
+    Add,
+    /// Softmax classifier head (identity shape, dense output).
+    Softmax,
+}
+
+/// A layer instance inside a network, with resolved shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name (e.g. `conv3_2`).
+    pub name: String,
+    /// Kind and hyper-parameters.
+    pub kind: LayerKind,
+    /// Input activation shape.
+    pub input: TensorShape,
+    /// Output activation shape.
+    pub output: TensorShape,
+}
+
+impl Layer {
+    /// Infers the output shape of `kind` applied to `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a convolution/pool window does not fit the input (an
+    /// ill-formed network description).
+    pub fn infer(name: impl Into<String>, kind: LayerKind, input: TensorShape) -> Layer {
+        let output = match &kind {
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                let h = conv_out(input.h, *kernel, *stride, *pad);
+                let w = conv_out(input.w, *kernel, *stride, *pad);
+                TensorShape::new(input.n, *out_channels, h, w)
+            }
+            LayerKind::Pool {
+                size, stride, pad, ..
+            } => {
+                let h = pool_out(input.h, *size, *stride, *pad);
+                let w = pool_out(input.w, *size, *stride, *pad);
+                TensorShape::new(input.n, input.c, h, w)
+            }
+            LayerKind::Fc { out_features, .. } => TensorShape::features(input.n, *out_features),
+            LayerKind::Relu
+            | LayerKind::Lrn
+            | LayerKind::Dropout { .. }
+            | LayerKind::Concat
+            | LayerKind::Add
+            | LayerKind::Softmax => input,
+        };
+        Layer {
+            name: name.into(),
+            kind,
+            input,
+            output,
+        }
+    }
+
+    /// Number of learned parameters (weights + biases).
+    pub fn params(&self) -> usize {
+        match &self.kind {
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                ..
+            } => self.input.c * out_channels * kernel * kernel + out_channels,
+            LayerKind::Fc { out_features, .. } => {
+                self.input.per_item_elements() * out_features + out_features
+            }
+            _ => 0,
+        }
+    }
+
+    /// Weight footprint in bytes at fp32.
+    pub fn weight_bytes(&self) -> usize {
+        self.params() * ELEM_BYTES
+    }
+
+    /// Forward-pass floating point operations (multiply and add counted
+    /// separately).
+    pub fn flops(&self) -> u64 {
+        let out = self.output.elements() as u64;
+        match &self.kind {
+            LayerKind::Conv { kernel, .. } => {
+                2 * out * (self.input.c * kernel * kernel) as u64
+            }
+            LayerKind::Fc { .. } => 2 * out * self.input.per_item_elements() as u64,
+            LayerKind::Pool { size, .. } => out * (size * size) as u64,
+            LayerKind::Relu | LayerKind::Dropout { .. } | LayerKind::Add => out,
+            LayerKind::Lrn => 8 * out,
+            LayerKind::Softmax => 5 * out,
+            LayerKind::Concat => 0,
+        }
+    }
+
+    /// Whether the layer's output passes through a ReLU (and therefore has
+    /// ReLU-generated sparsity).
+    pub fn has_relu(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Conv { relu: true, .. } | LayerKind::Fc { relu: true, .. } | LayerKind::Relu
+        )
+    }
+
+    /// Whether this layer only carries its input sparsity through (LRN,
+    /// pooling and similar layers without their own activation, §2.2).
+    pub fn carries_sparsity(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Pool { .. } | LayerKind::Lrn | LayerKind::Dropout { .. }
+        )
+    }
+}
+
+fn conv_out(size: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = size + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} larger than input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+fn pool_out(size: usize, window: usize, stride: usize, pad: usize) -> usize {
+    let padded = size + 2 * pad;
+    assert!(
+        padded >= window,
+        "pool window {window} larger than input {padded}"
+    );
+    // Caffe-style ceil division for pooling.
+    (padded - window + stride - 1) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference_vgg_conv1() {
+        let input = TensorShape::new(64, 3, 224, 224);
+        let layer = Layer::infer(
+            "conv1_1",
+            LayerKind::Conv {
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+            input,
+        );
+        assert_eq!(layer.output, TensorShape::new(64, 64, 224, 224));
+        assert_eq!(layer.params(), 3 * 64 * 9 + 64);
+    }
+
+    #[test]
+    fn conv_shape_inference_alexnet_conv1() {
+        let input = TensorShape::new(1, 3, 227, 227);
+        let layer = Layer::infer(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 96,
+                kernel: 11,
+                stride: 4,
+                pad: 0,
+                relu: true,
+            },
+            input,
+        );
+        assert_eq!(layer.output.h, 55);
+        assert_eq!(layer.output.w, 55);
+    }
+
+    #[test]
+    fn pool_halves_spatial_dims() {
+        let input = TensorShape::new(1, 64, 224, 224);
+        let layer = Layer::infer(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+                pad: 0,
+            },
+            input,
+        );
+        assert_eq!(layer.output, TensorShape::new(1, 64, 112, 112));
+        assert_eq!(layer.params(), 0);
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let input = TensorShape::new(64, 512, 7, 7);
+        let layer = Layer::infer(
+            "fc6",
+            LayerKind::Fc {
+                out_features: 4096,
+                relu: true,
+            },
+            input,
+        );
+        assert_eq!(layer.output, TensorShape::features(64, 4096));
+        assert_eq!(layer.params(), 512 * 49 * 4096 + 4096);
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let input = TensorShape::new(1, 3, 8, 8);
+        let layer = Layer::infer(
+            "c",
+            LayerKind::Conv {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+            },
+            input,
+        );
+        // 2 * out_elems * Cin * K * K = 2 * (4*8*8) * 27
+        assert_eq!(layer.flops(), 2 * 256 * 27);
+    }
+
+    #[test]
+    fn relu_detection() {
+        let input = TensorShape::new(1, 8, 4, 4);
+        assert!(Layer::infer("r", LayerKind::Relu, input).has_relu());
+        assert!(!Layer::infer("s", LayerKind::Softmax, input).has_relu());
+        assert!(Layer::infer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                size: 2,
+                stride: 2,
+                pad: 0,
+            },
+            input
+        )
+        .carries_sparsity());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_kernel_panics() {
+        Layer::infer(
+            "bad",
+            LayerKind::Conv {
+                out_channels: 1,
+                kernel: 9,
+                stride: 1,
+                pad: 0,
+                relu: false,
+            },
+            TensorShape::new(1, 1, 4, 4),
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! AlexNet (Krizhevsky et al., NeurIPS 2012) — the Caffe single-tower
+//! variant with 227x227 inputs.
+
+use crate::network::Network;
+use crate::tensor::TensorShape;
+
+/// Builds AlexNet at the given batch size.
+///
+/// # Example
+///
+/// ```
+/// let net = zcomp_dnn::models::alexnet(64);
+/// // ~61M parameters in the single-tower variant.
+/// assert!((57_000_000..66_000_000).contains(&net.params()));
+/// ```
+pub fn alexnet(batch: usize) -> Network {
+    Network::builder("alexnet", TensorShape::new(batch, 3, 227, 227))
+        .conv("conv1", 96, 11, 4, 0, true)
+        .lrn("norm1")
+        .max_pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1, 2, true)
+        .lrn("norm2")
+        .max_pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1, true)
+        .conv("conv4", 384, 3, 1, 1, true)
+        .conv("conv5", 256, 3, 1, 1, true)
+        .max_pool("pool5", 3, 2)
+        .fc("fc6", 4096, true)
+        .dropout("drop6", 0.5)
+        .fc("fc7", 4096, true)
+        .dropout("drop7", 0.5)
+        .fc("fc8", 1000, false)
+        .softmax("prob")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_shapes_match_published_architecture() {
+        let net = alexnet(1);
+        assert_eq!(net.layer("conv1").unwrap().output.h, 55);
+        assert_eq!(net.layer("pool1").unwrap().output.h, 27);
+        assert_eq!(net.layer("conv2").unwrap().output.h, 27);
+        assert_eq!(net.layer("pool2").unwrap().output.h, 13);
+        assert_eq!(net.layer("conv5").unwrap().output.c, 256);
+        assert_eq!(net.layer("pool5").unwrap().output.h, 6);
+        assert_eq!(net.layer("fc8").unwrap().output.c, 1000);
+    }
+
+    #[test]
+    fn parameter_count_is_about_61m() {
+        let net = alexnet(1);
+        let p = net.params();
+        assert!((57_000_000..66_000_000).contains(&p), "got {p}");
+        // FC layers dominate AlexNet's weights.
+        let fc: usize = ["fc6", "fc7", "fc8"]
+            .iter()
+            .map(|n| net.layer(n).unwrap().params())
+            .sum();
+        assert!(fc * 10 > p * 9, "fc must hold >90% of weights");
+    }
+
+    #[test]
+    fn flops_are_about_1_5_gflops_per_image() {
+        let f = alexnet(1).flops();
+        assert!((1_000_000_000..3_000_000_000).contains(&f), "got {f}");
+    }
+}

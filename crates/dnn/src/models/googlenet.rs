@@ -1,0 +1,116 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., 2014).
+
+use crate::network::{Network, NetworkBuilder};
+use crate::tensor::TensorShape;
+
+/// Channel configuration of one inception module:
+/// `(b1, b2_reduce, b2, b3_reduce, b3, b4_pool_proj)`.
+type InceptionCfg = (usize, usize, usize, usize, usize, usize);
+
+/// The nine inception modules of GoogLeNet in order (3a..5b), with their
+/// published channel configurations.
+const MODULES: [(&str, InceptionCfg); 9] = [
+    ("3a", (64, 96, 128, 16, 32, 32)),
+    ("3b", (128, 128, 192, 32, 96, 64)),
+    ("4a", (192, 96, 208, 16, 48, 64)),
+    ("4b", (160, 112, 224, 24, 64, 64)),
+    ("4c", (128, 128, 256, 24, 64, 64)),
+    ("4d", (112, 144, 288, 32, 64, 64)),
+    ("4e", (256, 160, 320, 32, 128, 128)),
+    ("5a", (256, 160, 320, 32, 128, 128)),
+    ("5b", (384, 192, 384, 48, 128, 128)),
+];
+
+/// Builds GoogLeNet at the given batch size.
+///
+/// # Example
+///
+/// ```
+/// let net = zcomp_dnn::models::googlenet(64);
+/// // ~7M parameters (excluding the auxiliary heads, as in inference
+/// // deployments).
+/// assert!((5_500_000..8_000_000).contains(&net.params()));
+/// ```
+pub fn googlenet(batch: usize) -> Network {
+    let mut b = Network::builder("googlenet", TensorShape::new(batch, 3, 224, 224));
+    // Stage pools use ceil-mode 3x3/2 without padding (Caffe semantics).
+    b.conv("conv1", 64, 7, 2, 3, true)
+        .max_pool("pool1", 3, 2)
+        .lrn("norm1")
+        .conv("conv2_reduce", 64, 1, 1, 0, true)
+        .conv("conv2", 192, 3, 1, 1, true)
+        .lrn("norm2")
+        .max_pool("pool2", 3, 2);
+    for (name, cfg) in MODULES {
+        inception(&mut b, name, cfg);
+        if name == "3b" || name == "4e" {
+            b.max_pool(&format!("pool_{name}"), 3, 2);
+        }
+    }
+    b.avg_pool("global_pool", 7, 1)
+        .dropout("drop", 0.4)
+        .fc("fc", 1000, false)
+        .softmax("prob")
+        .build()
+}
+
+/// Emits one inception module: four parallel branches over the trunk,
+/// concatenated channel-wise.
+fn inception(b: &mut NetworkBuilder, name: &str, cfg: InceptionCfg) {
+    let (b1, b2r, b2, b3r, b3, b4) = cfg;
+    b.begin_branch()
+        .conv(&format!("inc{name}_1x1"), b1, 1, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("inc{name}_3x3_reduce"), b2r, 1, 1, 0, true)
+        .conv(&format!("inc{name}_3x3"), b2, 3, 1, 1, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("inc{name}_5x5_reduce"), b3r, 1, 1, 0, true)
+        .conv(&format!("inc{name}_5x5"), b3, 5, 1, 2, true)
+        .end_branch();
+    b.begin_branch()
+        .max_pool_padded(&format!("inc{name}_pool"), 3, 1, 1)
+        .conv(&format!("inc{name}_pool_proj"), b4, 1, 1, 0, true)
+        .end_branch();
+    b.merge_concat(&format!("inc{name}_concat"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stem_shapes() {
+        let net = googlenet(1);
+        assert_eq!(net.layer("conv1").unwrap().output.h, 112);
+        assert_eq!(net.layer("pool1").unwrap().output.h, 56);
+        assert_eq!(net.layer("conv2").unwrap().output.c, 192);
+        assert_eq!(net.layer("pool2").unwrap().output.h, 28);
+    }
+
+    #[test]
+    fn inception_concat_channels_match_paper() {
+        let net = googlenet(1);
+        assert_eq!(net.layer("inc3a_concat").unwrap().output.c, 256);
+        assert_eq!(net.layer("inc3b_concat").unwrap().output.c, 480);
+        assert_eq!(net.layer("inc4a_concat").unwrap().output.c, 512);
+        assert_eq!(net.layer("inc4e_concat").unwrap().output.c, 832);
+        assert_eq!(net.layer("inc5b_concat").unwrap().output.c, 1024);
+    }
+
+    #[test]
+    fn spatial_reduction_through_stages() {
+        let net = googlenet(1);
+        assert_eq!(net.layer("inc3a_concat").unwrap().output.h, 28);
+        assert_eq!(net.layer("inc4a_concat").unwrap().output.h, 14);
+        assert_eq!(net.layer("inc5a_concat").unwrap().output.h, 7);
+        assert_eq!(net.layer("global_pool").unwrap().output.h, 1);
+    }
+
+    #[test]
+    fn parameter_count_is_about_7m() {
+        let p = googlenet(1).params();
+        assert!((5_500_000..8_000_000).contains(&p), "got {p}");
+    }
+}

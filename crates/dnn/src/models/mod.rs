@@ -1,0 +1,109 @@
+//! The five networks evaluated in the paper (§5.3): AlexNet, GoogLeNet,
+//! Inception-ResNet-v2, ResNet-32 and VGG-16.
+//!
+//! Each builder reproduces the published layer structure — shapes,
+//! parameter counts and FLOPs are checked against well-known totals in the
+//! module tests. The paper trains with batch 64 (ResNet: 128) and infers
+//! with batch 4; builders take the batch size as a parameter.
+
+mod alexnet;
+mod googlenet;
+mod inception_resnet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use inception_resnet::inception_resnet_v2;
+pub use resnet::resnet32;
+pub use vgg::vgg16;
+
+use crate::network::Network;
+
+/// Identifier of an evaluated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ModelId {
+    /// AlexNet (ILSVRC'12).
+    Alexnet,
+    /// GoogLeNet (Inception v1).
+    Googlenet,
+    /// Inception-ResNet-v2.
+    InceptionResnetV2,
+    /// ResNet-32 (the CIFAR-scale residual network; the paper trains it
+    /// with batch 128).
+    Resnet32,
+    /// VGG-16 (ILSVRC'14).
+    Vgg16,
+}
+
+impl ModelId {
+    /// All five evaluated networks, in the paper's plotting order.
+    pub const ALL: [ModelId; 5] = [
+        ModelId::Alexnet,
+        ModelId::Googlenet,
+        ModelId::InceptionResnetV2,
+        ModelId::Resnet32,
+        ModelId::Vgg16,
+    ];
+
+    /// Builds the network at the given batch size.
+    pub fn build(self, batch: usize) -> Network {
+        match self {
+            ModelId::Alexnet => alexnet(batch),
+            ModelId::Googlenet => googlenet(batch),
+            ModelId::InceptionResnetV2 => inception_resnet_v2(batch),
+            ModelId::Resnet32 => resnet32(batch),
+            ModelId::Vgg16 => vgg16(batch),
+        }
+    }
+
+    /// The paper's training batch size for this network (§5.3: 64 for all
+    /// except ResNet, which uses 128).
+    pub fn training_batch(self) -> usize {
+        match self {
+            ModelId::Resnet32 => 128,
+            _ => 64,
+        }
+    }
+
+    /// The paper's inference batch size (§5.3: 4 for all networks).
+    pub fn inference_batch(self) -> usize {
+        4
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelId::Alexnet => "alexnet",
+            ModelId::Googlenet => "googlenet",
+            ModelId::InceptionResnetV2 => "inception-resnet-v2",
+            ModelId::Resnet32 => "resnet-32",
+            ModelId::Vgg16 => "vgg-16",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_at_training_batch() {
+        for id in ModelId::ALL {
+            let net = id.build(id.training_batch());
+            assert!(!net.layers.is_empty(), "{id}");
+            assert!(net.params() > 0, "{id}");
+            assert!(net.flops() > 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn training_batches_match_paper() {
+        assert_eq!(ModelId::Resnet32.training_batch(), 128);
+        assert_eq!(ModelId::Vgg16.training_batch(), 64);
+        for id in ModelId::ALL {
+            assert_eq!(id.inference_batch(), 4);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! ResNet-32 (He et al., 2015) — the CIFAR-scale residual network with
+//! 3 stages of 5 basic blocks (6n+2 layers, n = 5).
+
+use crate::network::{Network, NetworkBuilder};
+use crate::tensor::TensorShape;
+
+/// Builds ResNet-32 at the given batch size.
+///
+/// The paper trains this network with batch 128 (§2.3, §5.3), consistent
+/// with its small 32x32 inputs.
+///
+/// # Example
+///
+/// ```
+/// let net = zcomp_dnn::models::resnet32(128);
+/// // 6*5+2 = 32 weighted layers plus the shortcut projections.
+/// let weighted = net.layers.iter().filter(|l| l.params() > 0).count();
+/// assert!(weighted >= 32);
+/// ```
+pub fn resnet32(batch: usize) -> Network {
+    let mut b = Network::builder("resnet32", TensorShape::new(batch, 3, 32, 32));
+    b.conv("conv1", 16, 3, 1, 1, true);
+    stage(&mut b, 1, 16, false);
+    stage(&mut b, 2, 32, true);
+    stage(&mut b, 3, 64, true);
+    b.avg_pool("global_pool", 8, 8)
+        .fc("fc", 10, false)
+        .softmax("prob")
+        .build()
+}
+
+/// One stage of five basic residual blocks; the first block of stages 2/3
+/// downsamples with stride 2 (and a projection shortcut).
+fn stage(b: &mut NetworkBuilder, index: usize, channels: usize, downsample: bool) {
+    for block in 1..=5 {
+        let stride = if downsample && block == 1 { 2 } else { 1 };
+        let prefix = format!("res{index}_{block}");
+        b.conv(&format!("{prefix}a"), channels, 3, stride, 1, true);
+        b.conv(&format!("{prefix}b"), channels, 3, 1, 1, false);
+        if stride == 2 {
+            // Projection shortcut: 1x1 stride-2 convolution on the trunk.
+            // Modelled in-line (its traffic reads the block input again).
+            b.residual_add(&format!("{prefix}_add_proj"));
+        } else {
+            b.residual_add(&format!("{prefix}_add"));
+        }
+        b.relu(&format!("{prefix}_relu"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_shapes() {
+        let net = resnet32(1);
+        assert_eq!(net.layer("res1_5b").unwrap().output.h, 32);
+        assert_eq!(net.layer("res2_1a").unwrap().output.h, 16);
+        assert_eq!(net.layer("res3_1a").unwrap().output.h, 8);
+        assert_eq!(net.layer("res3_5b").unwrap().output.c, 64);
+        assert_eq!(net.layer("global_pool").unwrap().output.h, 1);
+        assert_eq!(net.layer("fc").unwrap().output.c, 10);
+    }
+
+    #[test]
+    fn parameter_count_is_about_half_a_million() {
+        // The published CIFAR ResNet-32 has ~0.46M parameters.
+        let p = resnet32(1).params();
+        assert!((400_000..600_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn thirty_one_convolutions_plus_fc() {
+        let net = resnet32(1);
+        let weighted = net.layers.iter().filter(|l| l.params() > 0).count();
+        assert_eq!(weighted, 32, "31 convs + 1 fc");
+    }
+
+    #[test]
+    fn feature_maps_are_small_relative_to_imagenet_nets() {
+        let net = resnet32(128);
+        assert!(net.feature_map_bytes() < crate::models::vgg16(64).feature_map_bytes());
+    }
+}

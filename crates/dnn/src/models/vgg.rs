@@ -1,0 +1,90 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) — configuration D.
+
+use crate::network::Network;
+use crate::tensor::TensorShape;
+
+/// Builds VGG-16 at the given batch size.
+///
+/// Fig. 1 of the paper profiles this network at batch 64: the early wide
+/// convolution layers generate hundreds of megabytes of cross-layer
+/// feature-map data while weights only dominate in the FC layers.
+///
+/// # Example
+///
+/// ```
+/// let net = zcomp_dnn::models::vgg16(64);
+/// // ~138M parameters.
+/// assert!((130_000_000..145_000_000).contains(&net.params()));
+/// ```
+pub fn vgg16(batch: usize) -> Network {
+    Network::builder("vgg16", TensorShape::new(batch, 3, 224, 224))
+        .conv("conv1_1", 64, 3, 1, 1, true)
+        .conv("conv1_2", 64, 3, 1, 1, true)
+        .max_pool("pool1", 2, 2)
+        .conv("conv2_1", 128, 3, 1, 1, true)
+        .conv("conv2_2", 128, 3, 1, 1, true)
+        .max_pool("pool2", 2, 2)
+        .conv("conv3_1", 256, 3, 1, 1, true)
+        .conv("conv3_2", 256, 3, 1, 1, true)
+        .conv("conv3_3", 256, 3, 1, 1, true)
+        .max_pool("pool3", 2, 2)
+        .conv("conv4_1", 512, 3, 1, 1, true)
+        .conv("conv4_2", 512, 3, 1, 1, true)
+        .conv("conv4_3", 512, 3, 1, 1, true)
+        .max_pool("pool4", 2, 2)
+        .conv("conv5_1", 512, 3, 1, 1, true)
+        .conv("conv5_2", 512, 3, 1, 1, true)
+        .conv("conv5_3", 512, 3, 1, 1, true)
+        .max_pool("pool5", 2, 2)
+        .fc("fc6", 4096, true)
+        .dropout("drop6", 0.5)
+        .fc("fc7", 4096, true)
+        .dropout("drop7", 0.5)
+        .fc("fc8", 1000, false)
+        .softmax("prob")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_shape_progression() {
+        let net = vgg16(1);
+        assert_eq!(net.layer("conv1_2").unwrap().output.h, 224);
+        assert_eq!(net.layer("pool1").unwrap().output.h, 112);
+        assert_eq!(net.layer("pool2").unwrap().output.h, 56);
+        assert_eq!(net.layer("pool3").unwrap().output.h, 28);
+        assert_eq!(net.layer("pool4").unwrap().output.h, 14);
+        assert_eq!(net.layer("pool5").unwrap().output.h, 7);
+        assert_eq!(net.layer("pool5").unwrap().output.c, 512);
+    }
+
+    #[test]
+    fn parameter_count_is_about_138m() {
+        let p = vgg16(1).params();
+        assert!((130_000_000..145_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn conv1_output_at_batch_64_is_hundreds_of_mb() {
+        // Fig. 1(b): early layers generate hundreds of MB of feature maps.
+        let net = vgg16(64);
+        let conv1 = net.layer("conv1_1").unwrap().output.bytes();
+        assert!(conv1 > 700 << 20, "conv1_1 output {conv1} bytes");
+    }
+
+    #[test]
+    fn flops_are_about_31_gflops_per_image() {
+        let f = vgg16(1).flops();
+        assert!((28_000_000_000..34_000_000_000).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn sixteen_weight_layers() {
+        let net = vgg16(1);
+        let weighted = net.layers.iter().filter(|l| l.params() > 0).count();
+        assert_eq!(weighted, 16, "VGG-16 has 13 conv + 3 fc weight layers");
+    }
+}

@@ -1,0 +1,359 @@
+//! Network graphs: a builder and whole-network accounting.
+//!
+//! Networks are stored as a flat layer list in execution order. Branching
+//! structures (inception modules, residual blocks) are expressed with the
+//! builder's branch API: every branch layer records its own input/output
+//! shape, and a final [`LayerKind::Concat`] / [`LayerKind::Add`] merge
+//! restores the trunk shape. This is exactly the information the traffic
+//! and footprint models need: which buffers are read and written, at what
+//! sizes, in what order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Layer, LayerKind, PoolKind};
+use crate::tensor::TensorShape;
+
+/// A complete network description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name (e.g. `vgg16`).
+    pub name: String,
+    /// Input tensor shape (images).
+    pub input: TensorShape,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Starts building a network from an input shape.
+    pub fn builder(name: impl Into<String>, input: TensorShape) -> NetworkBuilder {
+        NetworkBuilder {
+            name: name.into(),
+            input,
+            current: input,
+            branch_stack: Vec::new(),
+            pending_branch_channels: Vec::new(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Total learned parameters.
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total weight footprint in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(Layer::weight_bytes).sum()
+    }
+
+    /// Total forward-pass FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(Layer::flops).sum()
+    }
+
+    /// Sum of all layer output footprints — the cross-layer feature-map
+    /// data that accumulates in memory during a forward pass (§2.3).
+    pub fn feature_map_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.output.bytes()).sum()
+    }
+
+    /// The largest single layer output.
+    pub fn max_layer_output_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.output.bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns the network re-batched to a different batch size.
+    pub fn with_batch(&self, n: usize) -> Network {
+        let mut out = self.clone();
+        out.input = self.input.with_batch(n);
+        for l in &mut out.layers {
+            l.input = l.input.with_batch(n);
+            l.output = l.output.with_batch(n);
+        }
+        out
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+/// Incremental network builder.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_dnn::network::Network;
+/// use zcomp_dnn::tensor::TensorShape;
+///
+/// let net = Network::builder("tiny", TensorShape::new(1, 3, 8, 8))
+///     .conv("conv1", 16, 3, 1, 1, true)
+///     .max_pool("pool1", 2, 2)
+///     .fc("fc", 10, false)
+///     .softmax("prob")
+///     .build();
+/// assert_eq!(net.layers.len(), 4);
+/// assert_eq!(net.layers[1].output.h, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input: TensorShape,
+    current: TensorShape,
+    /// Shapes to return to when a branch ends.
+    branch_stack: Vec<TensorShape>,
+    /// Output channel counts of completed branches awaiting a merge.
+    pending_branch_channels: Vec<usize>,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Current running activation shape.
+    pub fn shape(&self) -> TensorShape {
+        self.current
+    }
+
+    fn push(&mut self, name: &str, kind: LayerKind) -> &mut Self {
+        let layer = Layer::infer(name, kind, self.current);
+        self.current = layer.output;
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds a convolution (optionally ReLU-fused).
+    pub fn conv(
+        &mut self,
+        name: &str,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+    ) -> &mut Self {
+        self.push(
+            name,
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+                relu,
+            },
+        )
+    }
+
+    /// Adds a max-pooling layer (no padding).
+    pub fn max_pool(&mut self, name: &str, size: usize, stride: usize) -> &mut Self {
+        self.max_pool_padded(name, size, stride, 0)
+    }
+
+    /// Adds a max-pooling layer with explicit padding.
+    pub fn max_pool_padded(
+        &mut self,
+        name: &str,
+        size: usize,
+        stride: usize,
+        pad: usize,
+    ) -> &mut Self {
+        self.push(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size,
+                stride,
+                pad,
+            },
+        )
+    }
+
+    /// Adds an average-pooling layer (no padding).
+    pub fn avg_pool(&mut self, name: &str, size: usize, stride: usize) -> &mut Self {
+        self.avg_pool_padded(name, size, stride, 0)
+    }
+
+    /// Adds an average-pooling layer with explicit padding.
+    pub fn avg_pool_padded(
+        &mut self,
+        name: &str,
+        size: usize,
+        stride: usize,
+        pad: usize,
+    ) -> &mut Self {
+        self.push(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                size,
+                stride,
+                pad,
+            },
+        )
+    }
+
+    /// Adds a fully-connected layer (optionally ReLU-fused).
+    pub fn fc(&mut self, name: &str, out_features: usize, relu: bool) -> &mut Self {
+        self.push(name, LayerKind::Fc { out_features, relu })
+    }
+
+    /// Adds a local response normalization layer.
+    pub fn lrn(&mut self, name: &str) -> &mut Self {
+        self.push(name, LayerKind::Lrn)
+    }
+
+    /// Adds a dropout layer.
+    pub fn dropout(&mut self, name: &str, p: f64) -> &mut Self {
+        self.push(name, LayerKind::Dropout { p })
+    }
+
+    /// Adds a standalone ReLU.
+    pub fn relu(&mut self, name: &str) -> &mut Self {
+        self.push(name, LayerKind::Relu)
+    }
+
+    /// Adds a softmax head.
+    pub fn softmax(&mut self, name: &str) -> &mut Self {
+        self.push(name, LayerKind::Softmax)
+    }
+
+    /// Opens a branch: subsequent layers consume the current trunk shape;
+    /// [`end_branch`](Self::end_branch) returns to it.
+    pub fn begin_branch(&mut self) -> &mut Self {
+        self.branch_stack.push(self.current);
+        self
+    }
+
+    /// Closes the current branch, remembering its output channels for the
+    /// next [`merge_concat`](Self::merge_concat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branch is open.
+    pub fn end_branch(&mut self) -> &mut Self {
+        let trunk = self
+            .branch_stack
+            .pop()
+            .expect("end_branch without begin_branch");
+        self.pending_branch_channels.push(self.current.c);
+        self.current = trunk;
+        self
+    }
+
+    /// Merges all completed branches channel-wise (inception concat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branches are pending.
+    pub fn merge_concat(&mut self, name: &str) -> &mut Self {
+        assert!(
+            !self.pending_branch_channels.is_empty(),
+            "merge_concat without completed branches"
+        );
+        let channels: usize = self.pending_branch_channels.drain(..).sum();
+        // The concat layer's input is the trunk shape; its output has the
+        // summed channel count at the branch spatial dimensions.
+        let spatial = self.layers.last().map(|l| l.output).unwrap_or(self.current);
+        let out = TensorShape::new(self.current.n, channels, spatial.h, spatial.w);
+        let layer = Layer {
+            name: name.into(),
+            kind: LayerKind::Concat,
+            input: self.current,
+            output: out,
+        };
+        self.current = out;
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds a residual elementwise addition with the trunk (identity
+    /// shape; shapes must already match).
+    pub fn residual_add(&mut self, name: &str) -> &mut Self {
+        self.push(name, LayerKind::Add)
+    }
+
+    /// Finalizes the network.
+    pub fn build(&mut self) -> Network {
+        assert!(
+            self.branch_stack.is_empty(),
+            "unclosed branch at build time"
+        );
+        Network {
+            name: std::mem::take(&mut self.name),
+            input: self.input,
+            layers: std::mem::take(&mut self.layers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_build_tracks_shape() {
+        let net = Network::builder("t", TensorShape::new(2, 3, 32, 32))
+            .conv("c1", 16, 3, 1, 1, true)
+            .max_pool("p1", 2, 2)
+            .conv("c2", 32, 3, 1, 1, true)
+            .build();
+        assert_eq!(net.layers[2].output, TensorShape::new(2, 32, 16, 16));
+    }
+
+    #[test]
+    fn branch_and_concat_sums_channels() {
+        let net = Network::builder("inc", TensorShape::new(1, 192, 28, 28))
+            .begin_branch()
+            .conv("b1", 64, 1, 1, 0, true)
+            .end_branch()
+            .begin_branch()
+            .conv("b2a", 96, 1, 1, 0, true)
+            .conv("b2b", 128, 3, 1, 1, true)
+            .end_branch()
+            .merge_concat("concat")
+            .build();
+        let concat = net.layer("concat").expect("concat layer");
+        assert_eq!(concat.output.c, 64 + 128);
+        assert_eq!(concat.output.h, 28);
+    }
+
+    #[test]
+    fn with_batch_rescales_every_layer() {
+        let net = Network::builder("t", TensorShape::new(64, 3, 8, 8))
+            .conv("c", 8, 3, 1, 1, true)
+            .build();
+        let small = net.with_batch(4);
+        assert_eq!(small.layers[0].output.n, 4);
+        assert_eq!(small.input.n, 4);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let net = Network::builder("t", TensorShape::new(1, 3, 8, 8))
+            .conv("c", 8, 3, 1, 1, true)
+            .fc("f", 10, false)
+            .build();
+        assert!(net.params() > 0);
+        assert!(net.flops() > 0);
+        assert!(net.feature_map_bytes() > 0);
+        assert!(net.max_layer_output_bytes() >= net.layers[1].output.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed branch")]
+    fn unclosed_branch_panics() {
+        Network::builder("t", TensorShape::new(1, 3, 8, 8))
+            .begin_branch()
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin_branch")]
+    fn unbalanced_end_branch_panics() {
+        Network::builder("t", TensorShape::new(1, 3, 8, 8)).end_branch();
+    }
+}

@@ -1,0 +1,102 @@
+//! Tensor shapes and footprint accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element; the paper's evaluation uses fp32 throughout.
+pub const ELEM_BYTES: usize = 4;
+
+/// A 4-D activation tensor shape in NCHW layout.
+///
+/// Fully-connected activations use `h = w = 1` with `c` as the feature
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_dnn::tensor::TensorShape;
+///
+/// let fm = TensorShape::new(64, 64, 224, 224); // VGG-16 conv1 output
+/// assert_eq!(fm.elements(), 64 * 64 * 224 * 224);
+/// assert_eq!(fm.bytes(), fm.elements() * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch size.
+    pub n: usize,
+    /// Channels (or features for FC layers).
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        TensorShape { n, c, h, w }
+    }
+
+    /// A flat feature vector shape (`h = w = 1`).
+    pub fn features(n: usize, c: usize) -> Self {
+        TensorShape { n, c, h: 1, w: 1 }
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Size in bytes at fp32.
+    pub fn bytes(&self) -> usize {
+        self.elements() * ELEM_BYTES
+    }
+
+    /// Elements per batch item.
+    pub fn per_item_elements(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns the shape with a different batch size.
+    pub fn with_batch(&self, n: usize) -> TensorShape {
+        TensorShape { n, ..*self }
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_and_bytes() {
+        let s = TensorShape::new(2, 3, 4, 5);
+        assert_eq!(s.elements(), 120);
+        assert_eq!(s.bytes(), 480);
+        assert_eq!(s.per_item_elements(), 60);
+    }
+
+    #[test]
+    fn features_shape_is_flat() {
+        let s = TensorShape::features(64, 4096);
+        assert_eq!(s.h, 1);
+        assert_eq!(s.w, 1);
+        assert_eq!(s.elements(), 64 * 4096);
+    }
+
+    #[test]
+    fn with_batch_rescales() {
+        let s = TensorShape::new(64, 64, 224, 224);
+        assert_eq!(s.with_batch(4).elements(), s.elements() / 16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TensorShape::new(1, 2, 3, 4).to_string(), "1x2x3x4");
+    }
+}

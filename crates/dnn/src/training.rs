@@ -1,0 +1,155 @@
+//! Training/inference memory-footprint accounting (Figs. 1(b) and 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::Network;
+
+/// Fraction of per-layer activation gradients that stay allocated over a
+/// training step. Frameworks free or fuse a share of gradient buffers
+/// eagerly during backpropagation, so the gradient-map footprint in Fig. 3
+/// is large but smaller than the forward feature maps.
+const GRADIENT_RETENTION: f64 = 0.6;
+
+/// Memory consumed by each data-structure class of a DNN (Fig. 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Input images for one batch.
+    pub inputs_bytes: u64,
+    /// Learned weights.
+    pub weights_bytes: u64,
+    /// Weight gradients (training only).
+    pub weight_grads_bytes: u64,
+    /// Cross-layer feature maps accumulated over the forward pass.
+    pub feature_maps_bytes: u64,
+    /// Backward-pass gradient maps (training only).
+    pub gradient_maps_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.inputs_bytes
+            + self.weights_bytes
+            + self.weight_grads_bytes
+            + self.feature_maps_bytes
+            + self.gradient_maps_bytes
+    }
+
+    /// Feature-map share of the total (the paper reports feature maps as
+    /// the majority of the footprint in training, 44% on average in
+    /// inference).
+    pub fn feature_map_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.feature_maps_bytes as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Computes the footprint of one training step: feature maps from all
+/// layers stay buffered for the backward pass (§2.3 "long-term reuse"),
+/// gradient maps flow backward, and weight gradients mirror the weights.
+pub fn training_footprint(net: &Network) -> MemoryFootprint {
+    let fm = net.feature_map_bytes() as u64;
+    MemoryFootprint {
+        inputs_bytes: net.input.bytes() as u64,
+        weights_bytes: net.weight_bytes() as u64,
+        weight_grads_bytes: net.weight_bytes() as u64,
+        feature_maps_bytes: fm,
+        gradient_maps_bytes: (fm as f64 * GRADIENT_RETENTION) as u64,
+    }
+}
+
+/// Computes the footprint of inference: per-layer activation buffers are
+/// still allocated, but there are no gradients.
+pub fn inference_footprint(net: &Network) -> MemoryFootprint {
+    MemoryFootprint {
+        inputs_bytes: net.input.bytes() as u64,
+        weights_bytes: net.weight_bytes() as u64,
+        weight_grads_bytes: 0,
+        feature_maps_bytes: net.feature_map_bytes() as u64,
+        gradient_maps_bytes: 0,
+    }
+}
+
+/// Per-layer feature-map vs weight footprint rows — Fig. 1(b).
+pub fn layer_footprints(net: &Network) -> Vec<(String, u64, u64)> {
+    net.layers
+        .iter()
+        .map(|l| {
+            (
+                l.name.clone(),
+                l.output.bytes() as u64,
+                l.weight_bytes() as u64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{vgg16, ModelId};
+
+    #[test]
+    fn training_feature_maps_dominate() {
+        // §2.3 / Fig. 3: cross-layer feature maps account for the majority
+        // of the training memory footprint.
+        for id in [ModelId::Vgg16, ModelId::Googlenet, ModelId::InceptionResnetV2] {
+            let net = id.build(id.training_batch());
+            let fp = training_footprint(&net);
+            assert!(
+                fp.feature_map_fraction() > 0.4,
+                "{id}: feature maps are {:.0}%",
+                fp.feature_map_fraction() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn inference_has_no_gradients() {
+        let net = vgg16(4);
+        let fp = inference_footprint(&net);
+        assert_eq!(fp.gradient_maps_bytes, 0);
+        assert_eq!(fp.weight_grads_bytes, 0);
+        assert!(fp.feature_maps_bytes > 0);
+    }
+
+    #[test]
+    fn weights_matter_more_in_inference() {
+        // §5.3: "in inference, weight transfers also become a major
+        // factor" because the batch (and with it the feature maps) shrinks.
+        let train = training_footprint(&vgg16(64));
+        let infer = inference_footprint(&vgg16(4));
+        let train_w = train.weights_bytes as f64 / train.total() as f64;
+        let infer_w = infer.weights_bytes as f64 / infer.total() as f64;
+        assert!(infer_w > train_w * 2.0);
+    }
+
+    #[test]
+    fn vgg_early_layers_are_feature_map_heavy() {
+        // Fig. 1(b): early layers generate hundreds of MB of feature maps;
+        // weights only dominate in the FC layers.
+        let net = vgg16(64);
+        let rows = layer_footprints(&net);
+        let (name, fm, w) = &rows[0];
+        assert_eq!(name, "conv1_1");
+        assert!(fm > &(100u64 << 20));
+        assert!(w < &(1u64 << 20));
+        let fc6 = rows.iter().find(|(n, _, _)| n == "fc6").expect("fc6 row");
+        assert!(fc6.2 > fc6.1, "fc6 weights exceed its activations");
+    }
+
+    #[test]
+    fn footprint_total_sums_components() {
+        let fp = MemoryFootprint {
+            inputs_bytes: 1,
+            weights_bytes: 2,
+            weight_grads_bytes: 3,
+            feature_maps_bytes: 4,
+            gradient_maps_bytes: 5,
+        };
+        assert_eq!(fp.total(), 15);
+    }
+}

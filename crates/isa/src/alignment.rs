@@ -1,0 +1,139 @@
+//! Alignment analysis of compressed streams (§3.3).
+//!
+//! Compressed vectors have data-dependent sizes, so an interleaved stream
+//! walks through memory at irregular offsets: some vectors straddle a
+//! 64-byte cache-line boundary (handled "the same way as a regular
+//! unaligned store"), and element types whose `gcd(elem, header)` is
+//! below the transfer granularity can incur redundant transfer bytes.
+//! This module quantifies both effects for a given NNZ sequence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::ElemType;
+use crate::CACHE_LINE_BYTES;
+
+/// Alignment statistics of one compressed stream layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignmentStats {
+    /// Vectors in the stream.
+    pub vectors: u64,
+    /// Vectors whose header+data image crosses a cache-line boundary.
+    pub line_crossers: u64,
+    /// Total cache lines touched by the stream's writes.
+    pub lines_touched: u64,
+    /// Total stream bytes.
+    pub stream_bytes: u64,
+}
+
+impl AlignmentStats {
+    /// Fraction of vectors that straddle a line boundary.
+    pub fn crossing_fraction(&self) -> f64 {
+        if self.vectors == 0 {
+            0.0
+        } else {
+            self.line_crossers as f64 / self.vectors as f64
+        }
+    }
+
+    /// Bytes moved per stream byte if every touched line moves whole
+    /// (≥ 1.0; the overhead of partial-line occupancy).
+    pub fn line_transfer_overhead(&self) -> f64 {
+        if self.stream_bytes == 0 {
+            1.0
+        } else {
+            (self.lines_touched * CACHE_LINE_BYTES as u64) as f64 / self.stream_bytes as f64
+        }
+    }
+}
+
+/// Walks an interleaved stream layout for the given per-vector kept-lane
+/// counts and element type, accumulating alignment statistics.
+///
+/// # Panics
+///
+/// Panics if any count exceeds the type's lane count.
+pub fn analyze_interleaved(nnz: &[u16], ty: ElemType) -> AlignmentStats {
+    let lanes = ty.lanes() as u16;
+    let mut stats = AlignmentStats::default();
+    let mut offset = 0u64;
+    let mut last_line = u64::MAX;
+    for &n in nnz {
+        assert!(n <= lanes, "nnz {n} exceeds {lanes} lanes");
+        let size = (ty.header_bytes() + n as usize * ty.size_bytes()) as u64;
+        let first_line = offset / CACHE_LINE_BYTES as u64;
+        let end_line = (offset + size - 1) / CACHE_LINE_BYTES as u64;
+        if end_line > first_line {
+            stats.line_crossers += 1;
+        }
+        for line in first_line..=end_line {
+            if line != last_line {
+                stats.lines_touched += 1;
+                last_line = line;
+            }
+        }
+        stats.vectors += 1;
+        stats.stream_bytes += size;
+        offset += size;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_vectors_always_cross() {
+        // Incompressible fp32 vectors are 66 bytes: every one crosses a
+        // 64-byte boundary — the §3.3 unaligned-store case.
+        let stats = analyze_interleaved(&[16; 32], ElemType::F32);
+        assert_eq!(stats.line_crossers, 32);
+        assert!(stats.line_transfer_overhead() < 1.05);
+    }
+
+    #[test]
+    fn empty_vectors_pack_into_lines() {
+        // 2-byte headers only: 32 per line, no crossings.
+        let stats = analyze_interleaved(&[0; 64], ElemType::F32);
+        assert_eq!(stats.line_crossers, 0);
+        assert_eq!(stats.lines_touched, 2);
+        assert_eq!(stats.stream_bytes, 128);
+    }
+
+    #[test]
+    fn crossing_fraction_grows_with_size_irregularity() {
+        let small = analyze_interleaved(&[2; 256], ElemType::F32); // 10 B each
+        let large = analyze_interleaved(&[12; 256], ElemType::F32); // 50 B each
+        assert!(large.crossing_fraction() > small.crossing_fraction());
+    }
+
+    #[test]
+    fn sequential_stream_touches_each_line_once() {
+        // A contiguous stream revisits no line: lines_touched equals the
+        // span in lines.
+        let stats = analyze_interleaved(&[8; 100], ElemType::F32);
+        let span = stats.stream_bytes.div_ceil(64);
+        assert!(stats.lines_touched <= span + 1);
+    }
+
+    #[test]
+    fn int8_headers_have_no_alignment_guarantee() {
+        // §3.3: lower precisions can incur redundant transfers; the
+        // overhead factor reflects partially-filled lines.
+        let stats = analyze_interleaved(&[1; 8], ElemType::I8); // 9 B each
+        assert!(stats.line_transfer_overhead() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overfull_vector_panics() {
+        analyze_interleaved(&[17], ElemType::F32);
+    }
+
+    #[test]
+    fn stats_of_empty_stream() {
+        let stats = analyze_interleaved(&[], ElemType::F32);
+        assert_eq!(stats.crossing_fraction(), 0.0);
+        assert_eq!(stats.line_transfer_overhead(), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Generic buffer compression for every supported element type.
+//!
+//! [`compress`](crate::compress) covers the paper's default fp32 path;
+//! this module provides the same operations over raw byte buffers for any
+//! [`ElemType`] — the "multiple variants to support different data types
+//! (e.g. int8, fp16, int, fp32, double)" of §3 — including the smaller
+//! headers of wider types and the bigger headers of narrower ones.
+
+use crate::ccf::CompareCond;
+use crate::dtype::ElemType;
+use crate::error::ZcompError;
+use crate::stream::{CompressedStream, CompressedWriter, HeaderMode};
+use crate::vec512::Vec512;
+use crate::VECTOR_BYTES;
+
+/// Compresses a raw little-endian buffer of `ty`-typed elements.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::PartialVector`] if the buffer is not a whole
+/// number of 64-byte vectors.
+pub fn compress_bytes(
+    data: &[u8],
+    ty: ElemType,
+    cond: CompareCond,
+    mode: HeaderMode,
+) -> Result<CompressedStream, ZcompError> {
+    if data.len() % VECTOR_BYTES != 0 {
+        return Err(ZcompError::PartialVector {
+            len: data.len() / ty.size_bytes(),
+            lanes: ty.lanes(),
+        });
+    }
+    let mut w = CompressedWriter::new(ty, mode);
+    for chunk in data.chunks_exact(VECTOR_BYTES) {
+        let mut v = Vec512::ZERO;
+        v.as_bytes_mut().copy_from_slice(chunk);
+        w.write_vector(&v, cond)
+            .expect("unbounded writer cannot overflow");
+    }
+    Ok(w.finish())
+}
+
+/// Expands a compressed stream back into a raw byte buffer.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::Truncated`] for a malformed stream.
+pub fn expand_bytes(stream: &CompressedStream) -> Result<Vec<u8>, ZcompError> {
+    let mut out = Vec::with_capacity(stream.vectors() * VECTOR_BYTES);
+    let mut r = stream.reader();
+    while let Some(v) = r.read_vector()? {
+        out.extend_from_slice(v.as_bytes());
+    }
+    Ok(out)
+}
+
+/// Convenience: compression ratio of a typed buffer at the given
+/// condition (interleaved header).
+///
+/// # Errors
+///
+/// Returns [`ZcompError::PartialVector`] for partial buffers.
+pub fn ratio_of(data: &[u8], ty: ElemType, cond: CompareCond) -> Result<f64, ZcompError> {
+    Ok(compress_bytes(data, ty, cond, HeaderMode::Interleaved)?.compression_ratio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_buffer(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        // 8 lanes per vector; two vectors.
+        let values: Vec<f64> = (0..16)
+            .map(|i| if i % 3 == 0 { 0.0 } else { i as f64 * 1.5 })
+            .collect();
+        let data = f64_buffer(&values);
+        let stream =
+            compress_bytes(&data, ElemType::F64, CompareCond::Eqz, HeaderMode::Interleaved)
+                .expect("whole vectors");
+        assert_eq!(expand_bytes(&stream).expect("roundtrip"), data);
+        // 6 zeros of 8 bytes compressed away, 2 x 1-byte headers added.
+        assert_eq!(stream.compressed_bytes(), 128 - 6 * 8 + 2);
+    }
+
+    #[test]
+    fn i8_roundtrip_with_ltez() {
+        let mut data = vec![0u8; 64];
+        data[0] = 5;
+        data[1] = 0xFB; // -5: compressed away under LTEZ
+        data[63] = 100;
+        let stream = compress_bytes(&data, ElemType::I8, CompareCond::Ltez, HeaderMode::Separate)
+            .expect("whole vector");
+        let out = expand_bytes(&stream).expect("roundtrip");
+        assert_eq!(out[0], 5);
+        assert_eq!(out[1], 0, "negative int8 relu'd to zero");
+        assert_eq!(out[63], 100);
+        // 8-byte header + 2 kept bytes.
+        assert_eq!(stream.compressed_bytes(), 10);
+    }
+
+    #[test]
+    fn f16_all_zero_hits_max_ratio() {
+        let data = vec![0u8; 256]; // 4 vectors of 32 fp16 lanes
+        let stream =
+            compress_bytes(&data, ElemType::F16, CompareCond::Eqz, HeaderMode::Interleaved)
+                .expect("whole vectors");
+        // Each vector: 4-byte header only -> ratio 16.
+        assert!((stream.compression_ratio() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn header_overhead_ranks_by_lane_count() {
+        // For incompressible data, narrower types pay bigger headers.
+        let data = vec![0x7Fu8; 128];
+        let ratio = |ty| ratio_of(&data, ty, CompareCond::Eqz).expect("whole vectors");
+        assert!(ratio(ElemType::F64) > ratio(ElemType::F32));
+        assert!(ratio(ElemType::F32) > ratio(ElemType::I8));
+    }
+
+    #[test]
+    fn partial_buffer_is_rejected() {
+        let err = compress_bytes(&[0u8; 65], ElemType::F32, CompareCond::Eqz, HeaderMode::Interleaved)
+            .unwrap_err();
+        assert!(matches!(err, ZcompError::PartialVector { .. }));
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let values: Vec<i32> = (-8..8).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let stream =
+            compress_bytes(&data, ElemType::I32, CompareCond::Eqz, HeaderMode::Interleaved)
+                .expect("one vector");
+        assert_eq!(expand_bytes(&stream).expect("roundtrip"), data);
+        // One zero lane compressed: 2-byte header + 15 * 4 bytes.
+        assert_eq!(stream.compressed_bytes(), 62);
+    }
+}

@@ -1,0 +1,209 @@
+//! The comparison condition flag (`#CCF`) immediate of `zcomps`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::ElemType;
+use crate::mask::LaneMask;
+use crate::vec512::Vec512;
+
+/// The comparison condition of a `zcomps` instruction (§3.1).
+///
+/// The condition decides which lanes are *compressed away*; the header bit
+/// for a lane is set when the lane is **kept**.
+///
+/// * [`Eqz`](CompareCond::Eqz) compresses lanes equal to zero — the generic
+///   sparse-store mode used after any layer.
+/// * [`Ltez`](CompareCond::Ltez) compresses lanes less than **or equal to**
+///   zero — this *fuses the ReLU activation with the compression* in a
+///   single instruction, since ReLU maps all non-positive values to zero.
+///
+/// # Semantics notes
+///
+/// * `-0.0` compares equal to `0.0`, so it is compressed and will expand as
+///   `+0.0`: the bit pattern is not preserved, exactly as a hardware
+///   floating-point compare would behave.
+/// * `NaN` lanes never satisfy `== 0` or `<= 0`, so NaNs are always kept.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::ccf::CompareCond;
+///
+/// assert!(CompareCond::Eqz.compresses_f32(0.0));
+/// assert!(CompareCond::Eqz.compresses_f32(-0.0));
+/// assert!(!CompareCond::Eqz.compresses_f32(-1.0));
+/// assert!(CompareCond::Ltez.compresses_f32(-1.0)); // fused ReLU
+/// assert!(!CompareCond::Ltez.compresses_f32(f32::NAN));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareCond {
+    /// `_EQZ` — compress lanes equal to zero.
+    Eqz,
+    /// `_LTEZ` — compress lanes less than or equal to zero (fused ReLU).
+    Ltez,
+}
+
+impl CompareCond {
+    /// Whether an fp32 lane with this value would be compressed away.
+    #[inline]
+    pub fn compresses_f32(self, v: f32) -> bool {
+        match self {
+            CompareCond::Eqz => v == 0.0,
+            CompareCond::Ltez => v <= 0.0,
+        }
+    }
+
+    /// The value a compressed lane represents after the (implied)
+    /// activation: always `0.0` — `Ltez` *maps* negative values to zero.
+    #[inline]
+    pub fn compressed_value_f32(self) -> f32 {
+        0.0
+    }
+
+    /// Computes the keep-mask for a vector of the given type.
+    ///
+    /// For non-float element types, `Eqz` compares the raw lane bytes
+    /// against zero and `Ltez` interprets the lane as a signed
+    /// little-endian integer.
+    pub fn keep_mask(self, v: &Vec512, ty: ElemType) -> LaneMask {
+        let mut mask = LaneMask::empty(ty);
+        for i in 0..ty.lanes() {
+            let kept = match ty {
+                ElemType::F32 => !self.compresses_f32(v.f32_lane(i)),
+                ElemType::F64 => {
+                    let b = v.lane_bytes(ty, i);
+                    let x = f64::from_le_bytes(b.try_into().expect("8-byte lane"));
+                    match self {
+                        CompareCond::Eqz => x != 0.0,
+                        CompareCond::Ltez => !(x <= 0.0),
+                    }
+                }
+                ElemType::F16 => {
+                    // Half floats are modelled by bit pattern: zero iff the
+                    // magnitude bits are clear; sign bit decides <= 0.
+                    let b = v.lane_bytes(ty, i);
+                    let bits = u16::from_le_bytes([b[0], b[1]]);
+                    let is_zero = bits & 0x7FFF == 0;
+                    let is_nan = (bits & 0x7C00) == 0x7C00 && (bits & 0x03FF) != 0;
+                    let is_neg = bits & 0x8000 != 0;
+                    match self {
+                        CompareCond::Eqz => !is_zero,
+                        CompareCond::Ltez => is_nan || (!is_zero && !is_neg),
+                    }
+                }
+                ElemType::I32 => {
+                    let b = v.lane_bytes(ty, i);
+                    let x = i32::from_le_bytes(b.try_into().expect("4-byte lane"));
+                    match self {
+                        CompareCond::Eqz => x != 0,
+                        CompareCond::Ltez => x > 0,
+                    }
+                }
+                ElemType::I8 => {
+                    let x = v.lane_bytes(ty, i)[0] as i8;
+                    match self {
+                        CompareCond::Eqz => x != 0,
+                        CompareCond::Ltez => x > 0,
+                    }
+                }
+            };
+            if kept {
+                mask.set(i);
+            }
+        }
+        mask
+    }
+}
+
+impl std::fmt::Display for CompareCond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CompareCond::Eqz => "_EQZ",
+            CompareCond::Ltez => "_LTEZ",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqz_keeps_negatives() {
+        let mut v = Vec512::new();
+        v.set_f32_lane(0, -2.0);
+        v.set_f32_lane(1, 0.0);
+        v.set_f32_lane(2, 3.0);
+        let mask = CompareCond::Eqz.keep_mask(&v, ElemType::F32);
+        assert!(mask.is_set(0));
+        assert!(!mask.is_set(1));
+        assert!(mask.is_set(2));
+        // Lanes 3..16 are zero and compressed.
+        assert_eq!(mask.popcount(), 2);
+    }
+
+    #[test]
+    fn ltez_fuses_relu() {
+        let mut v = Vec512::new();
+        v.set_f32_lane(0, -2.0);
+        v.set_f32_lane(1, 0.0);
+        v.set_f32_lane(2, 3.0);
+        let mask = CompareCond::Ltez.keep_mask(&v, ElemType::F32);
+        assert!(!mask.is_set(0), "negative lane must compress under LTEZ");
+        assert!(!mask.is_set(1));
+        assert!(mask.is_set(2));
+    }
+
+    #[test]
+    fn negative_zero_compresses() {
+        assert!(CompareCond::Eqz.compresses_f32(-0.0));
+        assert!(CompareCond::Ltez.compresses_f32(-0.0));
+    }
+
+    #[test]
+    fn nan_is_kept() {
+        let mut v = Vec512::new();
+        v.set_f32_lane(5, f32::NAN);
+        for cond in [CompareCond::Eqz, CompareCond::Ltez] {
+            let mask = cond.keep_mask(&v, ElemType::F32);
+            assert!(mask.is_set(5), "{cond}");
+        }
+    }
+
+    #[test]
+    fn i8_lanes() {
+        let mut v = Vec512::new();
+        v.set_lane_bytes(ElemType::I8, 0, &[0xFF]); // -1
+        v.set_lane_bytes(ElemType::I8, 1, &[0x01]); // +1
+        let eqz = CompareCond::Eqz.keep_mask(&v, ElemType::I8);
+        assert!(eqz.is_set(0));
+        assert!(eqz.is_set(1));
+        assert_eq!(eqz.popcount(), 2);
+        let ltez = CompareCond::Ltez.keep_mask(&v, ElemType::I8);
+        assert!(!ltez.is_set(0));
+        assert!(ltez.is_set(1));
+    }
+
+    #[test]
+    fn f16_sign_and_zero() {
+        let mut v = Vec512::new();
+        // +1.0 in fp16 = 0x3C00; -1.0 = 0xBC00; -0.0 = 0x8000.
+        v.set_lane_bytes(ElemType::F16, 0, &0x3C00u16.to_le_bytes());
+        v.set_lane_bytes(ElemType::F16, 1, &0xBC00u16.to_le_bytes());
+        v.set_lane_bytes(ElemType::F16, 2, &0x8000u16.to_le_bytes());
+        let eqz = CompareCond::Eqz.keep_mask(&v, ElemType::F16);
+        assert!(eqz.is_set(0));
+        assert!(eqz.is_set(1));
+        assert!(!eqz.is_set(2), "-0.0 must compress under EQZ");
+        let ltez = CompareCond::Ltez.keep_mask(&v, ElemType::F16);
+        assert!(ltez.is_set(0));
+        assert!(!ltez.is_set(1));
+        assert!(!ltez.is_set(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CompareCond::Eqz.to_string(), "_EQZ");
+        assert_eq!(CompareCond::Ltez.to_string(), "_LTEZ");
+    }
+}

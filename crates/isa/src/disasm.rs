@@ -1,0 +1,197 @@
+//! Textual disassembly of modelled instructions and compressed streams —
+//! debugging and tracing support.
+//!
+//! The syntax follows the paper's own notation: `zcomps [reg2], reg1,
+//! #CCF` and `zcompl reg1, [reg2]` (§3.1), with the separate-header
+//! variants carrying `[reg3]` (§3.2). AVX512 baseline instructions use
+//! their conventional mnemonics.
+
+use crate::dtype::ElemType;
+use crate::error::ZcompError;
+use crate::instr::Instr;
+use crate::stream::{CompressedStream, HeaderMode};
+
+/// Formats one instruction in assembly-like syntax.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::disasm::disasm;
+/// use zcomp_isa::instr::Instr;
+///
+/// assert_eq!(disasm(&Instr::VLoad { addr: 0x1000 }), "vmovups zmm, [0x1000]");
+/// ```
+pub fn disasm(instr: &Instr) -> String {
+    match *instr {
+        Instr::VLoad { addr } => format!("vmovups zmm, [0x{addr:x}]"),
+        Instr::VStore { addr } => format!("vmovups [0x{addr:x}], zmm"),
+        Instr::VMaxPs => "vmaxps zmm, zmm, zmm".to_string(),
+        Instr::VCmpPsMask => "vcmpps k, zmm, zmm, imm".to_string(),
+        Instr::KmovPopcnt => "kmovw r32, k; popcnt r32, r32".to_string(),
+        Instr::VCompressStore { addr, bytes } => {
+            format!("vcompressstoreu [0x{addr:x}]{{k}}, zmm  ; {bytes} bytes")
+        }
+        Instr::VExpandLoad { addr, bytes } => {
+            format!("vexpandloadu zmm{{k}}, [0x{addr:x}]  ; {bytes} bytes")
+        }
+        Instr::StoreMask { addr } => format!("mov word [0x{addr:x}], k"),
+        Instr::LoadMask { addr } => format!("mov k, word [0x{addr:x}]"),
+        Instr::ScalarAdd => "add r64, r64".to_string(),
+        Instr::ZcompS {
+            variant,
+            addr,
+            bytes,
+            header_addr,
+            ..
+        } => match variant {
+            HeaderMode::Interleaved => {
+                format!("zcomps [0x{addr:x}], zmm, #CCF  ; {bytes} bytes, reg2 += {bytes}")
+            }
+            HeaderMode::Separate => format!(
+                "zcomps [0x{addr:x}], zmm, [0x{:x}], #CCF  ; {bytes} bytes",
+                header_addr.unwrap_or(0)
+            ),
+        },
+        Instr::ZcompL {
+            variant,
+            addr,
+            bytes,
+            header_addr,
+            ..
+        } => match variant {
+            HeaderMode::Interleaved => {
+                format!("zcompl zmm, [0x{addr:x}]  ; {bytes} bytes, reg2 += {bytes}")
+            }
+            HeaderMode::Separate => format!(
+                "zcompl zmm, [0x{addr:x}], [0x{:x}]  ; {bytes} bytes",
+                header_addr.unwrap_or(0)
+            ),
+        },
+        Instr::LoopOverhead => "add r64, 1; cmp/jne loop".to_string(),
+    }
+}
+
+/// Formats a sequence of instructions, one per line.
+pub fn disasm_block(instrs: &[Instr]) -> String {
+    instrs
+        .iter()
+        .map(disasm)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Dumps the per-vector structure of a compressed stream: offset, header
+/// bits, kept-lane count and payload size — the view Fig. 4 draws.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::Truncated`] for a malformed stream.
+pub fn dump_stream(stream: &CompressedStream) -> Result<String, ZcompError> {
+    let ty = stream.elem_type();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "; {} vectors, {} / {} bytes ({:.2}x), {} {} header\n",
+        stream.vectors(),
+        stream.compressed_bytes(),
+        stream.uncompressed_bytes(),
+        stream.compression_ratio(),
+        ty,
+        stream.header_mode(),
+    ));
+    let mut r = stream.reader();
+    let mut index = 0usize;
+    loop {
+        let offset = r.data_offset();
+        let Some(v) = r.read_vector()? else { break };
+        // Recompute the mask from the expanded vector (kept = non-zero
+        // byte pattern is not recoverable; use the movement of the
+        // cursor to derive the payload size instead).
+        let consumed = r.data_offset() - offset;
+        let payload = consumed
+            - match stream.header_mode() {
+                HeaderMode::Interleaved => ty.header_bytes(),
+                HeaderMode::Separate => 0,
+            };
+        let nnz = payload / ty.size_bytes();
+        out.push_str(&format!(
+            "vec {index:>6} @ +0x{offset:06x}: nnz={nnz:>2} payload={payload:>3}B\n"
+        ));
+        let _ = v;
+        index += 1;
+    }
+    Ok(out)
+}
+
+/// Convenience: the header size line for one element type (useful in
+/// debugging output).
+pub fn describe_type(ty: ElemType) -> String {
+    format!(
+        "{ty}: {} lanes, {}-byte header, {}-byte alignment guarantee",
+        ty.lanes(),
+        ty.header_bytes(),
+        ty.compressed_alignment()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccf::CompareCond;
+    use crate::compress::compress_f32;
+
+    #[test]
+    fn zcomps_disasm_matches_paper_syntax() {
+        let i = Instr::ZcompS {
+            variant: HeaderMode::Interleaved,
+            addr: 0x1000,
+            bytes: 26,
+            header_addr: None,
+            header_bytes: 2,
+        };
+        let text = disasm(&i);
+        assert!(text.starts_with("zcomps [0x1000], zmm, #CCF"));
+        assert!(text.contains("reg2 += 26"));
+    }
+
+    #[test]
+    fn separate_variant_shows_reg3() {
+        let i = Instr::ZcompL {
+            variant: HeaderMode::Separate,
+            addr: 0x2000,
+            bytes: 24,
+            header_addr: Some(0x8000),
+            header_bytes: 2,
+        };
+        assert_eq!(
+            disasm(&i),
+            "zcompl zmm, [0x2000], [0x8000]  ; 24 bytes"
+        );
+    }
+
+    #[test]
+    fn block_joins_lines() {
+        let block = disasm_block(&[Instr::VMaxPs, Instr::LoopOverhead]);
+        assert_eq!(block.lines().count(), 2);
+    }
+
+    #[test]
+    fn stream_dump_walks_every_vector() {
+        let mut data = vec![0.0f32; 48];
+        data[0] = 1.0;
+        data[17] = 2.0;
+        data[18] = 3.0;
+        let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+        let dump = dump_stream(&stream).expect("valid stream");
+        assert!(dump.contains("3 vectors"));
+        assert!(dump.contains("nnz= 1"));
+        assert!(dump.contains("nnz= 2"));
+        assert!(dump.contains("nnz= 0"));
+    }
+
+    #[test]
+    fn describe_type_reports_geometry() {
+        let d = describe_type(ElemType::F32);
+        assert!(d.contains("16 lanes"));
+        assert!(d.contains("2-byte header"));
+    }
+}

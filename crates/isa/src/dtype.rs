@@ -1,0 +1,178 @@
+//! Element data types supported by the ZCOMP instruction variants.
+//!
+//! As is common in x86, each ZCOMP instruction has multiple variants to
+//! support different data types (§3 of the paper). The paper's evaluation
+//! defaults to 32-bit float; the other types are modelled functionally,
+//! including the header-size and alignment consequences discussed in §3.3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::VECTOR_BYTES;
+
+/// An element data type for a ZCOMP / AVX512 vector instruction variant.
+///
+/// The header of a compressed vector holds one bit per lane, so its size is
+/// `lanes / 8` bytes: 2 bytes for fp32 (16 lanes), 4 bytes for fp16
+/// (32 lanes), 8 bytes for int8 (64 lanes) and 1 byte for fp64 (8 lanes).
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::dtype::ElemType;
+///
+/// assert_eq!(ElemType::F32.lanes(), 16);
+/// assert_eq!(ElemType::F32.header_bytes(), 2);
+/// assert_eq!(ElemType::F16.lanes(), 32);
+/// assert_eq!(ElemType::I8.header_bytes(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemType {
+    /// 32-bit IEEE-754 float — the paper's default type.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 16-bit IEEE-754 half float (modelled by bit pattern only).
+    F16,
+    /// 32-bit signed integer.
+    I32,
+    /// 8-bit signed integer.
+    I8,
+}
+
+impl ElemType {
+    /// All supported element types.
+    pub const ALL: [ElemType; 5] = [
+        ElemType::F32,
+        ElemType::F64,
+        ElemType::F16,
+        ElemType::I32,
+        ElemType::I8,
+    ];
+
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            ElemType::F32 | ElemType::I32 => 4,
+            ElemType::F64 => 8,
+            ElemType::F16 => 2,
+            ElemType::I8 => 1,
+        }
+    }
+
+    /// Number of lanes of this type in a 512-bit vector.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        VECTOR_BYTES / self.size_bytes()
+    }
+
+    /// Size in bytes of the per-vector compression header (one bit per lane).
+    #[inline]
+    pub const fn header_bytes(self) -> usize {
+        self.lanes() / 8
+    }
+
+    /// Byte alignment guaranteed for every compressed vector of this type.
+    ///
+    /// §3.3: "4-byte elements with 2-byte headers and 2-byte elements with
+    /// 4-byte headers both guarantee 2-byte aligned memory transfers". The
+    /// guaranteed alignment is `gcd(elem size, header size)`.
+    #[inline]
+    pub const fn compressed_alignment(self) -> usize {
+        gcd(self.size_bytes(), self.header_bytes())
+    }
+
+    /// Worst-case compressed size of one full vector (header + all lanes
+    /// uncompressible). This exceeds [`VECTOR_BYTES`] by the header size,
+    /// which is why §4.1 discusses allocating `data + metadata` when the
+    /// compressibility is unknown.
+    #[inline]
+    pub const fn max_compressed_bytes(self) -> usize {
+        self.header_bytes() + VECTOR_BYTES
+    }
+
+    /// Minimum fraction of lanes that must be compressible for the
+    /// interleaved stream to fit inside the original allocation.
+    ///
+    /// §4.1: "considering 512-bit SIMD instructions and fp32 values, only an
+    /// overall 3.125% compressibility is sufficient to fully amortize the
+    /// metadata".
+    #[inline]
+    pub fn metadata_breakeven(self) -> f64 {
+        self.header_bytes() as f64 / VECTOR_BYTES as f64
+    }
+}
+
+impl std::fmt::Display for ElemType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ElemType::F32 => "fp32",
+            ElemType::F64 => "fp64",
+            ElemType::F16 => "fp16",
+            ElemType::I32 => "int32",
+            ElemType::I8 => "int8",
+        };
+        f.write_str(name)
+    }
+}
+
+const fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_match_vector_width() {
+        for ty in ElemType::ALL {
+            assert_eq!(ty.lanes() * ty.size_bytes(), VECTOR_BYTES, "{ty}");
+        }
+    }
+
+    #[test]
+    fn header_sizes_from_paper() {
+        // §3.1: "for 512-bit vector with 32-bit elements, the mask will be
+        // 16 bits" (2 bytes).
+        assert_eq!(ElemType::F32.header_bytes(), 2);
+        assert_eq!(ElemType::F64.header_bytes(), 1);
+        assert_eq!(ElemType::F16.header_bytes(), 4);
+        assert_eq!(ElemType::I8.header_bytes(), 8);
+    }
+
+    #[test]
+    fn fp32_breakeven_is_3_125_percent() {
+        assert!((ElemType::F32.metadata_breakeven() - 0.03125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_guarantees() {
+        // §3.3: fp32 (4B elems, 2B header) and fp16 (2B elems, 4B header)
+        // both guarantee 2-byte alignment.
+        assert_eq!(ElemType::F32.compressed_alignment(), 2);
+        assert_eq!(ElemType::F16.compressed_alignment(), 2);
+        // int8 has no alignment guarantee beyond a byte.
+        assert_eq!(ElemType::I8.compressed_alignment(), 1);
+        assert_eq!(ElemType::F64.compressed_alignment(), 1);
+    }
+
+    #[test]
+    fn max_compressed_exceeds_vector() {
+        for ty in ElemType::ALL {
+            assert!(ty.max_compressed_bytes() > VECTOR_BYTES);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ElemType::F32.to_string(), "fp32");
+        assert_eq!(ElemType::I8.to_string(), "int8");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for functional ZCOMP stream operations.
+
+/// Errors produced by compressing to or expanding from a ZCOMP stream.
+///
+/// In hardware these conditions surface as memory protection violations
+/// (§4.1 discusses when an interleaved stream can overflow its original
+/// allocation); the functional model reports them as typed errors instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZcompError {
+    /// Writing the compressed stream would exceed the destination buffer.
+    ///
+    /// §4.1: "a memory violation can happen without enough compressibility."
+    BufferOverflow {
+        /// Bytes the write needed.
+        needed: usize,
+        /// Bytes remaining in the destination.
+        available: usize,
+    },
+    /// Writing a header would exceed the separate header store.
+    HeaderOverflow {
+        /// Bytes the header write needed.
+        needed: usize,
+        /// Bytes remaining in the header store.
+        available: usize,
+    },
+    /// The stream ended in the middle of a header or packed-lane group.
+    Truncated {
+        /// Byte offset at which the reader ran out of data.
+        offset: usize,
+    },
+    /// The input length is not a whole number of vectors.
+    ///
+    /// ZCOMP operates vector-by-vector; callers must pad partial tails (the
+    /// DNN frameworks in the paper allocate feature maps in full vectors).
+    PartialVector {
+        /// Number of elements supplied.
+        len: usize,
+        /// Lane count of the element type.
+        lanes: usize,
+    },
+    /// The expanded destination is smaller than the stream's element count.
+    DestinationTooSmall {
+        /// Elements the stream expands to.
+        needed: usize,
+        /// Elements the destination can hold.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ZcompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZcompError::BufferOverflow { needed, available } => write!(
+                f,
+                "compressed stream overflows destination: needed {needed} bytes, {available} available"
+            ),
+            ZcompError::HeaderOverflow { needed, available } => write!(
+                f,
+                "header store overflow: needed {needed} bytes, {available} available"
+            ),
+            ZcompError::Truncated { offset } => {
+                write!(f, "compressed stream truncated at byte offset {offset}")
+            }
+            ZcompError::PartialVector { len, lanes } => write!(
+                f,
+                "input length {len} is not a multiple of the {lanes}-lane vector width"
+            ),
+            ZcompError::DestinationTooSmall { needed, available } => write!(
+                f,
+                "expansion destination too small: needed {needed} elements, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ZcompError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ZcompError::BufferOverflow {
+            needed: 66,
+            available: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("66"));
+        assert!(msg.contains("64"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync>(_e: E) {}
+        takes_error(ZcompError::Truncated { offset: 3 });
+    }
+}

@@ -1,0 +1,131 @@
+//! The per-vector compression header (metadata).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::ElemType;
+use crate::mask::LaneMask;
+
+/// A per-vector compression header: one bit per lane, bit set = lane kept.
+///
+/// The header is the only metadata ZCOMP needs; `zcompl` reads it, popcounts
+/// it to learn how many packed elements follow, and uses the bit positions
+/// to scatter them back to their lanes (Fig. 5 of the paper).
+///
+/// On the wire the header is stored little-endian in
+/// [`ElemType::header_bytes`] bytes.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::header::Header;
+/// use zcomp_isa::mask::LaneMask;
+/// use zcomp_isa::dtype::ElemType;
+///
+/// let mask = LaneMask::from_bits(0b1001_0001_0001_1100, ElemType::F32);
+/// let header = Header::new(mask);
+/// assert_eq!(header.nnz(), 6);
+/// assert_eq!(header.compressed_data_bytes(ElemType::F32), 24); // 6 * 4
+/// assert_eq!(header.total_bytes(ElemType::F32), 26);           // +2 header
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Header {
+    mask: LaneMask,
+}
+
+impl Header {
+    /// Wraps a keep-mask as a header.
+    #[inline]
+    pub fn new(mask: LaneMask) -> Self {
+        Header { mask }
+    }
+
+    /// The keep-mask this header encodes.
+    #[inline]
+    pub fn mask(&self) -> LaneMask {
+        self.mask
+    }
+
+    /// Number of uncompressed elements following the header (the popcount
+    /// of Figs. 4/5).
+    #[inline]
+    pub fn nnz(&self) -> u32 {
+        self.mask.popcount()
+    }
+
+    /// Bytes of packed element data following this header.
+    #[inline]
+    pub fn compressed_data_bytes(&self, ty: ElemType) -> usize {
+        self.nnz() as usize * ty.size_bytes()
+    }
+
+    /// Total bytes this vector occupies in an interleaved stream
+    /// (header + packed data) — the auto-increment amount of `zcomps`.
+    #[inline]
+    pub fn total_bytes(&self, ty: ElemType) -> usize {
+        ty.header_bytes() + self.compressed_data_bytes(ty)
+    }
+
+    /// Serializes the header into `dst` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != ty.header_bytes()`.
+    pub fn write_to(&self, ty: ElemType, dst: &mut [u8]) {
+        assert_eq!(dst.len(), ty.header_bytes(), "header width mismatch");
+        let bits = self.mask.bits().to_le_bytes();
+        dst.copy_from_slice(&bits[..ty.header_bytes()]);
+    }
+
+    /// Deserializes a header from `src` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != ty.header_bytes()`.
+    pub fn read_from(ty: ElemType, src: &[u8]) -> Self {
+        assert_eq!(src.len(), ty.header_bytes(), "header width mismatch");
+        let mut raw = [0u8; 8];
+        raw[..src.len()].copy_from_slice(src);
+        Header {
+            mask: LaneMask::from_bits(u64::from_le_bytes(raw), ty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig4_example_totals_26_bytes() {
+        // Fig. 4: 6 non-zero fp32 elements -> 6*4 data + 2 header = 26, so
+        // reg2 goes from 0x1000 to 0x101A.
+        let header = Header::new(LaneMask::from_bits(0b1001_0001_0001_1100, ElemType::F32));
+        assert_eq!(header.total_bytes(ElemType::F32), 26);
+        assert_eq!(0x1000 + header.total_bytes(ElemType::F32), 0x101A);
+    }
+
+    #[test]
+    fn wire_roundtrip_all_types() {
+        for ty in ElemType::ALL {
+            let mask = LaneMask::from_bits(0xA5A5_A5A5_A5A5_A5A5, ty);
+            let header = Header::new(mask);
+            let mut buf = vec![0u8; ty.header_bytes()];
+            header.write_to(ty, &mut buf);
+            let back = Header::read_from(ty, &buf);
+            assert_eq!(back, header, "{ty}");
+        }
+    }
+
+    #[test]
+    fn empty_header_is_header_only() {
+        let header = Header::new(LaneMask::empty(ElemType::F32));
+        assert_eq!(header.total_bytes(ElemType::F32), 2);
+        assert_eq!(header.nnz(), 0);
+    }
+
+    #[test]
+    fn full_header_exceeds_vector_bytes() {
+        let header = Header::new(LaneMask::full(ElemType::F32));
+        assert_eq!(header.total_bytes(ElemType::F32), 66);
+    }
+}

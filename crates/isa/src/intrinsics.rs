@@ -1,0 +1,324 @@
+//! The software API of §4.2 (Fig. 6): intrinsic-style functions.
+//!
+//! The paper proposes intrinsics mirroring the AVX512 convention, e.g.
+//!
+//! ```c
+//! void  _mm512_zcomps_i_ps(float **dst, __m512 src, int ccf);
+//! __m512 _mm512_zcompl_i_ps(float **src);
+//! void  _mm512_zcomps_s_ps(float **dst, __m512 src, uint16_t **hdr, int ccf);
+//! __m512 _mm512_zcompl_s_ps(float **src, uint16_t **hdr);
+//! ```
+//!
+//! "Input and output pointers use a pass-by-reference construct to allow
+//! them to be auto-incremented to point to the next vector." This module
+//! reproduces that interface against a simulated byte-addressable memory
+//! ([`SimMemory`]): the pointer arguments are cursors that the intrinsic
+//! advances, exactly like the architectural `reg2`/`reg3` auto-increment.
+
+use crate::ccf::CompareCond;
+use crate::dtype::ElemType;
+use crate::error::ZcompError;
+use crate::header::Header;
+use crate::mask::LaneMask;
+use crate::vec512::Vec512;
+
+/// A flat, byte-addressable simulated memory for the intrinsic API.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::intrinsics::{SimMemory, Ptr};
+///
+/// let mut mem = SimMemory::new(4096);
+/// let p = Ptr::new(0x100);
+/// mem.store_f32(p.addr(), 1.5);
+/// assert_eq!(mem.load_f32(p.addr()), 1.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    bytes: Vec<u8>,
+}
+
+impl SimMemory {
+    /// Allocates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        SimMemory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, ZcompError> {
+        let start = addr as usize;
+        if start + len > self.bytes.len() {
+            Err(ZcompError::BufferOverflow {
+                needed: len,
+                available: self.bytes.len().saturating_sub(start),
+            })
+        } else {
+            Ok(start)
+        }
+    }
+
+    /// Stores one f32 (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds addresses.
+    pub fn store_f32(&mut self, addr: u64, v: f32) {
+        let start = self.check(addr, 4).expect("store within bounds");
+        self.bytes[start..start + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Loads one f32 (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds addresses.
+    pub fn load_f32(&self, addr: u64) -> f32 {
+        let start = self.check(addr, 4).expect("load within bounds");
+        f32::from_le_bytes(self.bytes[start..start + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Copies a full 512-bit vector into memory (`_mm512_store_ps`).
+    pub fn store_vec(&mut self, addr: u64, v: &Vec512) -> Result<(), ZcompError> {
+        let start = self.check(addr, 64)?;
+        self.bytes[start..start + 64].copy_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    /// Reads a full 512-bit vector from memory (`_mm512_load_ps`).
+    pub fn load_vec(&self, addr: u64) -> Result<Vec512, ZcompError> {
+        let start = self.check(addr, 64)?;
+        let mut out = Vec512::ZERO;
+        out.as_bytes_mut()
+            .copy_from_slice(&self.bytes[start..start + 64]);
+        Ok(out)
+    }
+
+    fn write_bytes(&mut self, addr: u64, src: &[u8]) -> Result<(), ZcompError> {
+        let start = self.check(addr, src.len())?;
+        self.bytes[start..start + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], ZcompError> {
+        let start = self.check(addr, len)?;
+        Ok(&self.bytes[start..start + len])
+    }
+}
+
+/// An auto-incremented pointer cursor (the `float **` of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ptr {
+    addr: u64,
+}
+
+impl Ptr {
+    /// Creates a pointer at a byte address.
+    pub fn new(addr: u64) -> Self {
+        Ptr { addr }
+    }
+
+    /// Current byte address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    fn advance(&mut self, bytes: u64) {
+        self.addr += bytes;
+    }
+}
+
+/// `_mm512_zcomps_i_ps` — interleaved-header compress-store of one fp32
+/// vector; `dst` auto-increments past the header and packed lanes.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::BufferOverflow`] if the compressed vector would
+/// exceed the memory — the §4.1 memory-violation case.
+pub fn mm512_zcomps_i_ps(
+    mem: &mut SimMemory,
+    dst: &mut Ptr,
+    src: Vec512,
+    ccf: CompareCond,
+) -> Result<(), ZcompError> {
+    let mask = ccf.keep_mask(&src, ElemType::F32);
+    let header = Header::new(mask);
+    let mut header_bytes = [0u8; 2];
+    header.write_to(ElemType::F32, &mut header_bytes);
+    // Fail atomically before any byte is written.
+    mem.check(dst.addr(), header.total_bytes(ElemType::F32))?;
+    mem.write_bytes(dst.addr(), &header_bytes)?;
+    let mut cursor = dst.addr() + 2;
+    for lane in mask.iter_set() {
+        mem.write_bytes(cursor, src.lane_bytes(ElemType::F32, lane))?;
+        cursor += 4;
+    }
+    dst.advance(header.total_bytes(ElemType::F32) as u64);
+    Ok(())
+}
+
+/// `_mm512_zcompl_i_ps` — interleaved-header expand-load of one fp32
+/// vector; `src` auto-increments past the header and packed lanes.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::Truncated`] via bounds checking if the stream is
+/// cut short.
+pub fn mm512_zcompl_i_ps(mem: &SimMemory, src: &mut Ptr) -> Result<Vec512, ZcompError> {
+    let header = Header::read_from(ElemType::F32, mem.read_bytes(src.addr(), 2)?);
+    let mut out = Vec512::ZERO;
+    let mut cursor = src.addr() + 2;
+    for lane in header.mask().iter_set() {
+        let raw = mem.read_bytes(cursor, 4)?;
+        out.set_lane_bytes(ElemType::F32, lane, raw);
+        cursor += 4;
+    }
+    src.advance(header.total_bytes(ElemType::F32) as u64);
+    Ok(out)
+}
+
+/// `_mm512_zcomps_s_ps` — separate-header compress-store: packed lanes go
+/// through `dst`, the 16-bit header through `hdr`; both auto-increment.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::BufferOverflow`] if either region overflows.
+pub fn mm512_zcomps_s_ps(
+    mem: &mut SimMemory,
+    dst: &mut Ptr,
+    hdr: &mut Ptr,
+    src: Vec512,
+    ccf: CompareCond,
+) -> Result<(), ZcompError> {
+    let mask = ccf.keep_mask(&src, ElemType::F32);
+    let header = Header::new(mask);
+    let payload = header.compressed_data_bytes(ElemType::F32);
+    mem.check(dst.addr(), payload)?;
+    mem.check(hdr.addr(), 2)?;
+    let mut header_bytes = [0u8; 2];
+    header.write_to(ElemType::F32, &mut header_bytes);
+    mem.write_bytes(hdr.addr(), &header_bytes)?;
+    let mut cursor = dst.addr();
+    for lane in mask.iter_set() {
+        mem.write_bytes(cursor, src.lane_bytes(ElemType::F32, lane))?;
+        cursor += 4;
+    }
+    dst.advance(payload as u64);
+    hdr.advance(2);
+    Ok(())
+}
+
+/// `_mm512_zcompl_s_ps` — separate-header expand-load.
+///
+/// # Errors
+///
+/// Returns a bounds error if either region is exhausted.
+pub fn mm512_zcompl_s_ps(
+    mem: &SimMemory,
+    src: &mut Ptr,
+    hdr: &mut Ptr,
+) -> Result<Vec512, ZcompError> {
+    let header = Header::read_from(ElemType::F32, mem.read_bytes(hdr.addr(), 2)?);
+    let mut out = Vec512::ZERO;
+    let mut cursor = src.addr();
+    for lane in header.mask().iter_set() {
+        out.set_lane_bytes(ElemType::F32, lane, mem.read_bytes(cursor, 4)?);
+        cursor += 4;
+    }
+    src.advance(header.compressed_data_bytes(ElemType::F32) as u64);
+    hdr.advance(2);
+    Ok(out)
+}
+
+/// `_mm512_cmp_ps_mask`-style helper: the keep-mask of a vector (used by
+/// the avx512-comp baseline of Fig. 10).
+pub fn mm512_cmp_ps_mask(v: &Vec512, ccf: CompareCond) -> LaneMask {
+    ccf.keep_mask(v, ElemType::F32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Fig. 8 + Fig. 9 loop pair on simulated memory: a
+    /// ReLU-compressed store pass followed by a retrieval pass.
+    #[test]
+    fn fig8_fig9_store_then_retrieve() {
+        let mut mem = SimMemory::new(1 << 16);
+        let x_base = 0u64;
+        let y_base = 0x8000u64;
+        // Input: 8 vectors of pre-activations, half negative.
+        let n = 8 * 16;
+        for i in 0..n {
+            mem.store_f32(
+                x_base + i as u64 * 4,
+                if i % 2 == 0 { -(i as f32) - 1.0 } else { i as f32 },
+            );
+        }
+        // Fig. 8: zcomps _LTEZ loop.
+        let mut y_ptr = Ptr::new(y_base);
+        for v in 0..8 {
+            let tvec = mem.load_vec(x_base + v * 64).expect("in bounds");
+            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez).expect("fits");
+        }
+        let compressed_end = y_ptr.addr();
+        assert!(compressed_end - y_base < 8 * 64, "stream is compressed");
+        // Fig. 9: zcompl loop retrieves the ReLU output.
+        let mut read_ptr = Ptr::new(y_base);
+        for v in 0..8u64 {
+            let tvec = mm512_zcompl_i_ps(&mem, &mut read_ptr).expect("valid stream");
+            for lane in 0..16 {
+                let idx = v * 16 + lane as u64;
+                let expect = mem.load_f32(x_base + idx * 4).max(0.0);
+                assert_eq!(tvec.f32_lane(lane), expect);
+            }
+        }
+        assert_eq!(read_ptr.addr(), compressed_end, "reader consumed the stream");
+    }
+
+    #[test]
+    fn separate_header_variant_roundtrip() {
+        let mut mem = SimMemory::new(1 << 12);
+        let mut v = Vec512::ZERO;
+        v.set_f32_lane(3, 7.0);
+        v.set_f32_lane(9, -2.0);
+        let (mut dst, mut hdr) = (Ptr::new(0x100), Ptr::new(0x800));
+        mm512_zcomps_s_ps(&mut mem, &mut dst, &mut hdr, v, CompareCond::Eqz).expect("fits");
+        assert_eq!(dst.addr(), 0x100 + 8, "two kept lanes");
+        assert_eq!(hdr.addr(), 0x800 + 2);
+        let (mut rdst, mut rhdr) = (Ptr::new(0x100), Ptr::new(0x800));
+        let out = mm512_zcompl_s_ps(&mem, &mut rdst, &mut rhdr).expect("valid");
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn overflow_is_detected_before_writing() {
+        let mut mem = SimMemory::new(64);
+        let mut dst = Ptr::new(32);
+        let v = Vec512::from_f32_lanes(&[1.0; 16]); // needs 66 bytes
+        let err = mm512_zcomps_i_ps(&mut mem, &mut dst, v, CompareCond::Eqz).unwrap_err();
+        assert!(matches!(err, ZcompError::BufferOverflow { .. }));
+        assert_eq!(dst.addr(), 32, "pointer unchanged on fault");
+    }
+
+    #[test]
+    fn cmp_mask_matches_ccf() {
+        let mut v = Vec512::ZERO;
+        v.set_f32_lane(0, -1.0);
+        v.set_f32_lane(1, 1.0);
+        let m = mm512_cmp_ps_mask(&v, CompareCond::Ltez);
+        assert!(!m.is_set(0));
+        assert!(m.is_set(1));
+    }
+}

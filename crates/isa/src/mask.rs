@@ -1,0 +1,176 @@
+//! Per-lane bitmasks (the AVX512 `k` registers and ZCOMP headers).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::ElemType;
+
+/// A per-lane bitmask over a 512-bit vector.
+///
+/// Bit `i` set means lane `i` is *kept* (uncompressed / active). At most 64
+/// lanes exist (int8), so a `u64` backs every variant; the valid width is
+/// carried alongside so equality and display are width-aware.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::mask::LaneMask;
+/// use zcomp_isa::dtype::ElemType;
+///
+/// // The worked example in Fig. 4 of the paper: 6 non-zero lanes out of 16
+/// // with pattern 1001000100011100 (lane 0 = LSB) = 0x911C... but note the
+/// // paper writes the mask MSB-first; functionally we store lane i at bit i.
+/// let mask = LaneMask::from_bits(0b1001_0001_0001_1100, ElemType::F32);
+/// assert_eq!(mask.popcount(), 6);
+/// assert!(mask.is_set(2));
+/// assert!(!mask.is_set(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaneMask {
+    bits: u64,
+    lanes: u8,
+}
+
+impl LaneMask {
+    /// Creates a mask from raw bits for the given element type.
+    ///
+    /// Bits above the lane count are cleared.
+    #[inline]
+    pub fn from_bits(bits: u64, ty: ElemType) -> Self {
+        let lanes = ty.lanes() as u8;
+        let keep = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        LaneMask {
+            bits: bits & keep,
+            lanes,
+        }
+    }
+
+    /// The empty mask (everything compressed) for an element type.
+    #[inline]
+    pub fn empty(ty: ElemType) -> Self {
+        LaneMask::from_bits(0, ty)
+    }
+
+    /// The full mask (nothing compressible) for an element type.
+    #[inline]
+    pub fn full(ty: ElemType) -> Self {
+        LaneMask::from_bits(u64::MAX, ty)
+    }
+
+    /// Raw bit representation (lane `i` at bit `i`).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of lanes this mask covers.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Whether lane `i` is kept (uncompressed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the mask's lane count.
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        assert!(i < self.lanes as usize, "lane {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the mask's lane count.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.lanes as usize, "lane {i} out of range");
+        self.bits |= 1 << i;
+    }
+
+    /// Number of kept lanes — the `popcount` micro-op in Figs. 4 and 5.
+    #[inline]
+    pub fn popcount(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Number of compressed-away lanes.
+    #[inline]
+    pub fn zeros(&self) -> u32 {
+        self.lanes as u32 - self.popcount()
+    }
+
+    /// Iterator over the indices of kept lanes, in lane order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.bits;
+        (0..self.lanes as usize).filter(move |i| (bits >> i) & 1 == 1)
+    }
+}
+
+impl std::fmt::Display for LaneMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.lanes as usize).rev() {
+            f.write_str(if (self.bits >> i) & 1 == 1 { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcount_matches_paper_example() {
+        let mask = LaneMask::from_bits(0b1001_0001_0001_1100, ElemType::F32);
+        assert_eq!(mask.popcount(), 6);
+        assert_eq!(mask.zeros(), 10);
+    }
+
+    #[test]
+    fn bits_above_lane_count_are_masked() {
+        let mask = LaneMask::from_bits(u64::MAX, ElemType::F32);
+        assert_eq!(mask.bits(), 0xFFFF);
+        assert_eq!(mask.popcount(), 16);
+    }
+
+    #[test]
+    fn i8_uses_all_64_bits() {
+        let mask = LaneMask::full(ElemType::I8);
+        assert_eq!(mask.popcount(), 64);
+    }
+
+    #[test]
+    fn iter_set_yields_lane_indices_in_order() {
+        let mask = LaneMask::from_bits(0b1010, ElemType::F32);
+        let lanes: Vec<usize> = mask.iter_set().collect();
+        assert_eq!(lanes, vec![1, 3]);
+    }
+
+    #[test]
+    fn set_and_is_set() {
+        let mut mask = LaneMask::empty(ElemType::F64);
+        mask.set(7);
+        assert!(mask.is_set(7));
+        assert_eq!(mask.popcount(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn is_set_out_of_range_panics() {
+        let mask = LaneMask::empty(ElemType::F64);
+        let _ = mask.is_set(8);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let mask = LaneMask::from_bits(0b1, ElemType::F64);
+        assert_eq!(mask.to_string(), "00000001");
+    }
+}

@@ -1,0 +1,203 @@
+//! A 512-bit SIMD register value.
+
+use crate::dtype::ElemType;
+use crate::VECTOR_BYTES;
+
+/// A 512-bit vector register value, stored as 64 little-endian bytes.
+///
+/// This is the functional model of a `zmm` register: typed lane views are
+/// provided for the [`ElemType`] variants the instruction family supports.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_isa::vec512::Vec512;
+///
+/// let v = Vec512::from_f32_lanes(&[1.0; 16]);
+/// assert_eq!(v.f32_lane(3), 1.0);
+/// assert_eq!(v.to_f32_lanes()[15], 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Vec512 {
+    bytes: [u8; VECTOR_BYTES],
+}
+
+impl Vec512 {
+    /// The all-zero vector (what `vpxorq zmm, zmm, zmm` would produce).
+    pub const ZERO: Vec512 = Vec512 {
+        bytes: [0; VECTOR_BYTES],
+    };
+
+    /// Creates a vector from raw little-endian bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; VECTOR_BYTES]) -> Self {
+        Vec512 { bytes }
+    }
+
+    /// Creates an all-zero vector.
+    #[inline]
+    pub const fn new() -> Self {
+        Vec512::ZERO
+    }
+
+    /// Creates a vector from exactly 16 fp32 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != 16`.
+    pub fn from_f32_lanes(lanes: &[f32]) -> Self {
+        assert_eq!(lanes.len(), ElemType::F32.lanes(), "need 16 fp32 lanes");
+        let mut bytes = [0u8; VECTOR_BYTES];
+        for (i, v) in lanes.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Vec512 { bytes }
+    }
+
+    /// Raw byte view.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; VECTOR_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; VECTOR_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Reads fp32 lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub fn f32_lane(&self, i: usize) -> f32 {
+        let b = &self.bytes[i * 4..i * 4 + 4];
+        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes fp32 lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub fn set_f32_lane(&mut self, i: usize, v: f32) {
+        self.bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// All 16 fp32 lanes as an array.
+    pub fn to_f32_lanes(&self) -> [f32; 16] {
+        let mut out = [0.0f32; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.f32_lane(i);
+        }
+        out
+    }
+
+    /// Generic lane read as raw little-endian bytes for any element type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= ty.lanes()`.
+    pub fn lane_bytes(&self, ty: ElemType, i: usize) -> &[u8] {
+        let s = ty.size_bytes();
+        assert!(i < ty.lanes(), "lane {i} out of range for {ty}");
+        &self.bytes[i * s..(i + 1) * s]
+    }
+
+    /// Generic lane write from raw little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= ty.lanes()` or `src.len() != ty.size_bytes()`.
+    pub fn set_lane_bytes(&mut self, ty: ElemType, i: usize, src: &[u8]) {
+        let s = ty.size_bytes();
+        assert!(i < ty.lanes(), "lane {i} out of range for {ty}");
+        assert_eq!(src.len(), s, "lane byte width mismatch for {ty}");
+        self.bytes[i * s..(i + 1) * s].copy_from_slice(src);
+    }
+
+    /// Lane-wise `max(self, other)` over fp32 lanes — the `vmaxps`
+    /// operation used by the vectorized ReLU baseline.
+    pub fn max_ps(&self, other: &Vec512) -> Vec512 {
+        let mut out = Vec512::ZERO;
+        for i in 0..16 {
+            out.set_f32_lane(i, self.f32_lane(i).max(other.f32_lane(i)));
+        }
+        out
+    }
+}
+
+impl Default for Vec512 {
+    fn default() -> Self {
+        Vec512::ZERO
+    }
+}
+
+impl std::fmt::Debug for Vec512 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // fp32 view is the crate's default interpretation.
+        f.debug_tuple("Vec512").field(&self.to_f32_lanes()).finish()
+    }
+}
+
+impl From<[f32; 16]> for Vec512 {
+    fn from(lanes: [f32; 16]) -> Self {
+        Vec512::from_f32_lanes(&lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_lane_roundtrip() {
+        let mut v = Vec512::new();
+        for i in 0..16 {
+            v.set_f32_lane(i, i as f32 - 8.0);
+        }
+        for i in 0..16 {
+            assert_eq!(v.f32_lane(i), i as f32 - 8.0);
+        }
+    }
+
+    #[test]
+    fn from_array_conversion() {
+        let lanes = [2.5f32; 16];
+        let v = Vec512::from(lanes);
+        assert_eq!(v.to_f32_lanes(), lanes);
+    }
+
+    #[test]
+    fn max_ps_implements_relu_against_zero() {
+        let mut v = Vec512::new();
+        v.set_f32_lane(0, -1.0);
+        v.set_f32_lane(1, 3.0);
+        let r = v.max_ps(&Vec512::ZERO);
+        assert_eq!(r.f32_lane(0), 0.0);
+        assert_eq!(r.f32_lane(1), 3.0);
+    }
+
+    #[test]
+    fn generic_lane_bytes_i8() {
+        let mut v = Vec512::new();
+        v.set_lane_bytes(ElemType::I8, 63, &[0x7f]);
+        assert_eq!(v.lane_bytes(ElemType::I8, 63), &[0x7f]);
+        assert_eq!(v.as_bytes()[63], 0x7f);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 16 out of range")]
+    fn lane_out_of_range_panics() {
+        let v = Vec512::new();
+        let _ = v.lane_bytes(ElemType::F32, 16);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Vec512::ZERO).is_empty());
+    }
+}

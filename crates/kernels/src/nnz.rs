@@ -1,0 +1,129 @@
+//! Per-vector kept-lane (NNZ) sequences.
+//!
+//! The kernels need, for every 16-lane vector of a feature map, how many
+//! lanes survive compression — that determines compressed sizes, pointer
+//! increments and store widths. The sequence comes either from real data
+//! (exact, via the ISA's compare semantics) or from the synthetic
+//! activation generator in chunks, so multi-hundred-megabyte tensors never
+//! need to be resident at once.
+
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::vec512::Vec512;
+
+use zcomp_dnn::sparsity::generate_activations;
+
+/// Lanes per fp32 vector.
+pub const LANES: usize = 16;
+
+/// Computes the per-vector NNZ sequence of an `f32` buffer under a
+/// comparison condition. The tail is zero-padded to a full vector.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_kernels::nnz::nnz_from_data;
+/// use zcomp_isa::ccf::CompareCond;
+///
+/// let mut data = vec![0.0f32; 32];
+/// data[0] = 1.0;
+/// data[20] = -1.0;
+/// let nnz = nnz_from_data(&data, CompareCond::Eqz);
+/// assert_eq!(nnz, vec![1, 1]);
+/// let relu = nnz_from_data(&data, CompareCond::Ltez);
+/// assert_eq!(relu, vec![1, 0], "negative lane compresses under LTEZ");
+/// ```
+pub fn nnz_from_data(data: &[f32], cond: CompareCond) -> Vec<u8> {
+    let vectors = data.len().div_ceil(LANES);
+    let mut out = Vec::with_capacity(vectors);
+    let mut lanes = [0.0f32; LANES];
+    for chunk in data.chunks(LANES) {
+        lanes.fill(0.0);
+        lanes[..chunk.len()].copy_from_slice(chunk);
+        let v = Vec512::from_f32_lanes(&lanes);
+        out.push(cond.keep_mask(&v, ElemType::F32).popcount() as u8);
+    }
+    out
+}
+
+/// Generates the NNZ sequence of a synthetic feature map with the target
+/// `sparsity` and clustered zero runs, processing in bounded chunks so
+/// arbitrarily large tensors use constant memory.
+///
+/// The generated values are post-activation (zero or positive), so the
+/// sequence is identical under `_EQZ` and `_LTEZ`.
+pub fn nnz_synthetic(elements: usize, sparsity: f64, mean_run: f64, seed: u64) -> Vec<u8> {
+    const CHUNK_ELEMS: usize = 1 << 20; // 1M elements = 4 MB per chunk
+    let vectors = elements.div_ceil(LANES);
+    let mut out = Vec::with_capacity(vectors);
+    let mut produced = 0usize;
+    let mut chunk_idx = 0u64;
+    while produced < elements {
+        let n = CHUNK_ELEMS.min(elements - produced);
+        // Round chunks to whole vectors except the final one.
+        let n = if produced + n < elements {
+            n - (n % LANES)
+        } else {
+            n
+        };
+        let data = generate_activations(n, sparsity, mean_run, seed ^ chunk_idx.wrapping_mul(0xABCD_1234));
+        out.extend(nnz_from_data(&data, CompareCond::Eqz));
+        produced += n;
+        chunk_idx += 1;
+    }
+    out
+}
+
+/// Average kept-lane fraction of a sequence (1.0 - sparsity).
+pub fn density(nnz: &[u8]) -> f64 {
+    if nnz.is_empty() {
+        return 0.0;
+    }
+    nnz.iter().map(|&n| n as u64).sum::<u64>() as f64 / (nnz.len() * LANES) as f64
+}
+
+/// Total compressed payload bytes of a sequence at fp32 (headers excluded).
+pub fn payload_bytes(nnz: &[u8]) -> u64 {
+    nnz.iter().map(|&n| n as u64 * 4).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_density_matches_target() {
+        let nnz = nnz_synthetic(1 << 20, 0.53, 6.0, 1);
+        assert_eq!(nnz.len(), (1 << 20) / 16);
+        let d = density(&nnz);
+        assert!((d - 0.47).abs() < 0.03, "density {d}");
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        assert_eq!(
+            nnz_synthetic(10_000, 0.5, 4.0, 7),
+            nnz_synthetic(10_000, 0.5, 4.0, 7)
+        );
+    }
+
+    #[test]
+    fn chunking_does_not_change_vector_count() {
+        // Span several chunks with a non-multiple-of-chunk length.
+        let elements = (1 << 21) + 12_345;
+        let nnz = nnz_synthetic(elements, 0.4, 4.0, 3);
+        assert_eq!(nnz.len(), elements.div_ceil(16));
+    }
+
+    #[test]
+    fn payload_bytes_counts_fp32() {
+        assert_eq!(payload_bytes(&[16, 0, 8]), (16 + 8) * 4);
+    }
+
+    #[test]
+    fn tail_padding_is_zero() {
+        let data = vec![1.0f32; 17];
+        let nnz = nnz_from_data(&data, CompareCond::Eqz);
+        assert_eq!(nnz, vec![16, 1]);
+    }
+}

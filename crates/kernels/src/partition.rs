@@ -1,0 +1,154 @@
+//! Partitioned parallelization (Fig. 7 of the paper).
+//!
+//! Compressed streams are sequential: the size of vector *n+1* is only
+//! known after vector *n*'s header. Naive parallelization that shares one
+//! compressed-data pointer serializes on the pointer hand-off
+//! (Fig. 7(a)); the partitioned strategy (Fig. 7(b)) slices the feature
+//! map so every thread owns an isolated chunk and pointer. Sub-block
+//! slicing within a chunk additionally enables loop unrolling (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// How a feature map is parallelized across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelization {
+    /// Fig. 7(a): one contiguous compressed stream; the compressed-data
+    /// pointer is handed from thread to thread, serializing execution.
+    Serialized,
+    /// Fig. 7(b): each thread compresses its own slice independently.
+    Partitioned,
+}
+
+/// One thread's slice of the element range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Owning thread.
+    pub thread: usize,
+    /// First element index (inclusive).
+    pub start: usize,
+    /// One past the last element index.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Elements in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `elements` across `threads`, aligned to `vector_elems` (16 for
+/// fp32) so no vector straddles two chunks. Leading chunks take the
+/// remainder, mirroring OpenMP static scheduling of Fig. 8's
+/// `threadID*n/num_threads` slicing.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `vector_elems == 0`.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_kernels::partition::partition;
+///
+/// let chunks = partition(1000, 4, 16);
+/// assert_eq!(chunks.len(), 4);
+/// assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 1000);
+/// // All interior boundaries are vector-aligned.
+/// assert!(chunks[..3].iter().all(|c| c.end % 16 == 0));
+/// ```
+pub fn partition(elements: usize, threads: usize, vector_elems: usize) -> Vec<Chunk> {
+    assert!(threads > 0, "at least one thread");
+    assert!(vector_elems > 0, "vector width must be positive");
+    let vectors = elements.div_ceil(vector_elems);
+    let base = vectors / threads;
+    let extra = vectors % threads;
+    let mut chunks = Vec::with_capacity(threads);
+    let mut cursor = 0usize;
+    for t in 0..threads {
+        let nvec = base + usize::from(t < extra);
+        let start = cursor * vector_elems;
+        cursor += nvec;
+        let end = (cursor * vector_elems).min(elements);
+        chunks.push(Chunk {
+            thread: t,
+            start: start.min(elements),
+            end,
+        });
+    }
+    chunks
+}
+
+/// Splits one chunk into `sub_blocks` vector-aligned sub-blocks for loop
+/// unrolling (§4.3): each sub-block is an independent compressed stream,
+/// so multiple ZCOMP instructions can be in flight per iteration.
+pub fn sub_blocks(chunk: &Chunk, sub_blocks: usize, vector_elems: usize) -> Vec<Chunk> {
+    partition(chunk.len(), sub_blocks.max(1), vector_elems)
+        .into_iter()
+        .map(|c| Chunk {
+            thread: chunk.thread,
+            start: chunk.start + c.start,
+            end: chunk.start + c.end,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_range_without_overlap() {
+        let chunks = partition(12345, 7, 16);
+        assert_eq!(chunks.len(), 7);
+        let mut cursor = 0;
+        for c in &chunks {
+            assert_eq!(c.start, cursor);
+            cursor = c.end;
+        }
+        assert_eq!(cursor, 12345);
+    }
+
+    #[test]
+    fn partition_is_vector_aligned() {
+        let chunks = partition(1024, 3, 16);
+        for c in &chunks[..2] {
+            assert_eq!(c.end % 16, 0);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vectors_leaves_empty_chunks() {
+        let chunks = partition(16, 4, 16);
+        assert_eq!(chunks[0].len(), 16);
+        assert!(chunks[1..].iter().all(Chunk::is_empty));
+    }
+
+    #[test]
+    fn sub_blocks_stay_inside_chunk() {
+        let chunk = Chunk {
+            thread: 3,
+            start: 160,
+            end: 480,
+        };
+        let blocks = sub_blocks(&chunk, 4, 16);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].start, 160);
+        assert_eq!(blocks.last().unwrap().end, 480);
+        assert!(blocks.iter().all(|b| b.thread == 3));
+        assert_eq!(blocks.iter().map(Chunk::len).sum::<usize>(), 320);
+    }
+
+    #[test]
+    fn balanced_load() {
+        let chunks = partition(16 * 1000, 16, 16);
+        let min = chunks.iter().map(Chunk::len).min().unwrap();
+        let max = chunks.iter().map(Chunk::len).max().unwrap();
+        assert!(max - min <= 16, "imbalance {max}-{min}");
+    }
+}

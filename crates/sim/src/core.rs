@@ -1,0 +1,402 @@
+//! Core timing models.
+//!
+//! Two models are provided, cross-validated by tests:
+//!
+//! * [`RooflineModel`] — the default. A phase's wall time is the maximum of
+//!   its issue-pressure bound (per-port micro-op throughput, 4-wide issue),
+//!   its per-thread L2/L3 fill-bandwidth bounds, its MSHR-limited exposed
+//!   memory latency, and the *global* DRAM and L3 bandwidth bounds shared
+//!   by all cores. This is the bulk-throughput regime the paper argues
+//!   ZCOMP operates in (§3.3: "ZCOMP usage becomes throughput-bound").
+//! * [`IntervalModel`] — a cycle-stepped per-iteration model in the spirit
+//!   of Sniper's interval simulation, used for small kernels and for
+//!   validating the roofline model's issue component.
+
+use serde::{Deserialize, Serialize};
+use zcomp_isa::uops::{UopCounts, UopTable};
+
+use crate::config::SimConfig;
+use crate::hierarchy::{AccessResult, ServedBy};
+use crate::stats::CycleBreakdown;
+
+/// Execution accounting accumulated by one thread over one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadAccounting {
+    /// Micro-ops issued, by kind.
+    pub uops: UopCounts,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Aggregated memory-access outcome.
+    pub access: AccessResult,
+}
+
+impl ThreadAccounting {
+    /// Merges another accounting into this one.
+    pub fn merge(&mut self, other: &ThreadAccounting) {
+        self.uops.merge(&other.uops);
+        self.instructions += other.instructions;
+        self.access.merge(&other.access);
+    }
+}
+
+/// Wall-clock timing of one parallel phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Wall cycles of the phase (the slowest thread / global bound).
+    pub wall_cycles: f64,
+    /// Per-thread busy cycles (issue + exposed memory).
+    pub thread_cycles: Vec<f64>,
+    /// Aggregate cycle breakdown summed over threads (Fig. 2's buckets).
+    pub breakdown: CycleBreakdown,
+}
+
+/// The default bulk-throughput timing model.
+#[derive(Debug, Clone)]
+pub struct RooflineModel {
+    cfg: SimConfig,
+    table: UopTable,
+}
+
+impl RooflineModel {
+    /// Creates the model for a machine and micro-op table.
+    pub fn new(cfg: SimConfig, table: UopTable) -> Self {
+        RooflineModel { cfg, table }
+    }
+
+    /// The micro-op table in use.
+    pub fn table(&self) -> &UopTable {
+        &self.table
+    }
+
+    /// Issue-pressure cycles for one thread's micro-ops.
+    pub fn issue_cycles(&self, acct: &ThreadAccounting) -> f64 {
+        self.table.min_cycles(&acct.uops)
+    }
+
+    /// Exposed memory-latency cycles for one thread: per-line latencies
+    /// beyond the (pipelined) L1 hit latency, overlapped across the L1
+    /// MSHRs.
+    pub fn exposed_latency_cycles(&self, acct: &ThreadAccounting) -> f64 {
+        let a = &acct.access;
+        let hidden = u64::from(a.lines) * u64::from(self.cfg.l1d.hit_latency);
+        let exposed = a.latency_sum.saturating_sub(hidden) as f64;
+        let mlp = self.cfg.l1d.mshrs.max(1) as f64;
+        exposed / mlp
+    }
+
+    /// Per-thread fill-bandwidth bounds (L2 and this core's L3 share).
+    pub fn fill_bandwidth_cycles(&self, acct: &ThreadAccounting) -> f64 {
+        let a = &acct.access;
+        let from_l2 = f64::from(a.lines_from(ServedBy::L2))
+            + f64::from(a.lines_from(ServedBy::L3))
+            + f64::from(a.lines_from(ServedBy::Dram));
+        let from_l3 = f64::from(a.lines_from(ServedBy::L3)) + f64::from(a.lines_from(ServedBy::Dram));
+        let l2 = from_l2 * 64.0 / self.cfg.l2_bw_bytes_per_cycle;
+        let l3 = from_l3 * 64.0 / self.cfg.l3_bw_bytes_per_cycle_per_core;
+        l2.max(l3)
+    }
+
+    /// Busy cycles of one thread: the max of its issue, bandwidth and
+    /// latency bounds (overlapped in an out-of-order core).
+    pub fn thread_cycles(&self, acct: &ThreadAccounting) -> f64 {
+        self.issue_cycles(acct)
+            .max(self.fill_bandwidth_cycles(acct))
+            .max(self.exposed_latency_cycles(acct))
+    }
+
+    /// Times a phase executed by the given per-thread accountings in
+    /// parallel, with `phase_dram_bytes` total DRAM traffic during the
+    /// phase (the shared-bandwidth bound).
+    pub fn time_phase(&self, threads: &[ThreadAccounting], phase_dram_bytes: u64) -> PhaseTiming {
+        let per_thread: Vec<f64> = threads.iter().map(|t| self.thread_cycles(t)).collect();
+        let slowest = per_thread.iter().copied().fold(0.0, f64::max);
+        let dram_bound =
+            phase_dram_bytes as f64 / self.cfg.dram.bytes_per_cycle(self.cfg.clock_hz);
+        let wall = slowest.max(dram_bound);
+
+        let mut breakdown = CycleBreakdown::default();
+        for (t, &busy) in threads.iter().zip(&per_thread) {
+            let issue = self.issue_cycles(t);
+            // Memory stall: the part of this thread's wall time beyond its
+            // pure issue time, up to its own busy time plus the shared-
+            // bandwidth stretch.
+            let own_mem = (busy - issue).max(0.0);
+            let shared_stretch = (wall - busy).max(0.0) * if busy > 0.0 { 1.0 } else { 0.0 };
+            // Threads that finished early idle at the barrier: when the
+            // wall is set by the DRAM bound, that time is memory; when set
+            // by a slower sibling, it is sync.
+            let (mem_extra, sync) = if dram_bound >= slowest {
+                (shared_stretch, 0.0)
+            } else {
+                (0.0, (wall - busy).max(0.0))
+            };
+            breakdown.compute += issue;
+            breakdown.memory += own_mem + mem_extra;
+            breakdown.sync += sync;
+        }
+        PhaseTiming {
+            wall_cycles: wall,
+            thread_cycles: per_thread,
+            breakdown,
+        }
+    }
+}
+
+/// Cycle-stepped per-iteration timing model (Sniper-style interval
+/// simulation).
+///
+/// The caller feeds one loop iteration at a time via
+/// [`IntervalModel::step`]; the model advances a cycle cursor by the
+/// iteration's issue time, adds dependency-chain latency that the window
+/// cannot hide, and overlaps memory misses across an MSHR window.
+#[derive(Debug, Clone)]
+pub struct IntervalModel {
+    cfg: SimConfig,
+    table: UopTable,
+    now: f64,
+    /// Completion time of the oldest outstanding miss per MSHR slot.
+    mshr_free_at: Vec<f64>,
+    total_issue: f64,
+    total_mem_stall: f64,
+}
+
+impl IntervalModel {
+    /// Creates a model with an empty pipeline.
+    pub fn new(cfg: SimConfig, table: UopTable) -> Self {
+        let mshrs = cfg.l1d.mshrs.max(1);
+        IntervalModel {
+            cfg,
+            table,
+            now: 0.0,
+            mshr_free_at: vec![0.0; mshrs],
+            total_issue: 0.0,
+            total_mem_stall: 0.0,
+        }
+    }
+
+    /// Current cycle cursor.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Issue cycles accumulated so far.
+    pub fn issue_cycles(&self) -> f64 {
+        self.total_issue
+    }
+
+    /// Memory stall cycles accumulated so far.
+    pub fn memory_stall_cycles(&self) -> f64 {
+        self.total_mem_stall
+    }
+
+    /// Waits for all outstanding misses to complete (call at the end of a
+    /// kernel to account for the drain tail).
+    pub fn drain(&mut self) {
+        let last = self
+            .mshr_free_at
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        if last > self.now {
+            self.total_mem_stall += last - self.now;
+            self.now = last;
+        }
+    }
+
+    /// Advances the model by one iteration.
+    ///
+    /// * `uops` — the iteration's micro-op counts.
+    /// * `dep_chain_latency` — the critical-path latency of the iteration's
+    ///   internal dependency chain in cycles (serializes with the previous
+    ///   iteration when the iteration is loop-carried, e.g. the `zcompl`
+    ///   pointer chase).
+    /// * `access` — the iteration's memory outcome.
+    /// * `loop_carried` — whether `dep_chain_latency` serializes against
+    ///   the previous iteration (true for ZCOMP's auto-incremented pointer
+    ///   when the next address depends on the current header).
+    pub fn step(
+        &mut self,
+        uops: &UopCounts,
+        dep_chain_latency: f64,
+        access: &AccessResult,
+        loop_carried: bool,
+    ) {
+        let issue = self.table.min_cycles(uops);
+        self.total_issue += issue;
+        let mut next = self.now + issue;
+        if loop_carried {
+            next = next.max(self.now + dep_chain_latency);
+        }
+
+        // Memory: charge each line's beyond-L1 latency into the MSHR
+        // window; the iteration cannot complete before its oldest miss.
+        let lines = access.lines as u64;
+        if lines > 0 {
+            let hidden = lines * u64::from(self.cfg.l1d.hit_latency);
+            let per_line_extra = (access.latency_sum.saturating_sub(hidden)) as f64 / lines as f64;
+            for _ in 0..lines {
+                if per_line_extra <= 0.0 {
+                    continue;
+                }
+                // Allocate the earliest-free MSHR. The out-of-order window
+                // hides the miss itself; the core only stalls (advances its
+                // cursor) while waiting for a free MSHR.
+                let slot = self
+                    .mshr_free_at
+                    .iter_mut()
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+                    .expect("at least one MSHR");
+                let start = slot.max(self.now);
+                *slot = start + per_line_extra;
+                next = next.max(start);
+            }
+        }
+        let stall = (next - (self.now + issue)).max(0.0);
+        self.total_mem_stall += stall;
+        self.now = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zcomp_isa::uops::UopKind;
+
+    fn cfg() -> SimConfig {
+        SimConfig::table1()
+    }
+
+    fn acct(loads: u64, l1_lines: u32, dram_lines: u32) -> ThreadAccounting {
+        let mut uops = UopCounts::new();
+        uops.add(UopKind::Load, loads);
+        let mut access = AccessResult {
+            lines: l1_lines + dram_lines,
+            ..AccessResult::default()
+        };
+        access.served[ServedBy::L1 as usize] = l1_lines;
+        access.served[ServedBy::Dram as usize] = dram_lines;
+        let c = cfg();
+        access.latency_sum = u64::from(l1_lines) * u64::from(c.l1d.hit_latency)
+            + u64::from(dram_lines)
+                * u64::from(c.l1d.hit_latency + c.l2.hit_latency + c.l3.hit_latency + 180);
+        ThreadAccounting {
+            uops,
+            instructions: loads,
+            access,
+        }
+    }
+
+    #[test]
+    fn l1_resident_work_is_issue_bound() {
+        let model = RooflineModel::new(cfg(), UopTable::skylake_x());
+        let a = acct(1000, 1000, 0);
+        let t = model.thread_cycles(&a);
+        // 1000 loads on 2 load ports = 500 cycles; no memory component.
+        assert!((t - 500.0).abs() < 1e-9);
+        assert_eq!(model.exposed_latency_cycles(&a), 0.0);
+    }
+
+    #[test]
+    fn dram_misses_add_memory_time() {
+        let model = RooflineModel::new(cfg(), UopTable::skylake_x());
+        let hit = model.thread_cycles(&acct(100, 100, 0));
+        let miss = model.thread_cycles(&acct(100, 0, 100));
+        assert!(miss > hit * 2.0, "misses must dominate: {miss} vs {hit}");
+    }
+
+    #[test]
+    fn global_dram_bound_stretches_phase() {
+        let model = RooflineModel::new(cfg(), UopTable::skylake_x());
+        let threads = vec![acct(16, 16, 0); 16];
+        // 1 GB of phase DRAM traffic at ~28.3 B/cycle dominates trivially.
+        let timing = model.time_phase(&threads, 1 << 30);
+        let expect = (1u64 << 30) as f64 / (68.0e9 / 2.4e9);
+        assert!((timing.wall_cycles - expect).abs() / expect < 1e-9);
+        // The stretch is accounted as memory stall, not sync.
+        assert!(timing.breakdown.memory > timing.breakdown.sync);
+    }
+
+    #[test]
+    fn imbalanced_threads_accrue_sync() {
+        let model = RooflineModel::new(cfg(), UopTable::skylake_x());
+        let threads = vec![acct(1000, 1000, 0), acct(10, 10, 0)];
+        let timing = model.time_phase(&threads, 0);
+        assert!(timing.breakdown.sync > 0.0, "fast thread waits at barrier");
+        assert_eq!(timing.wall_cycles, timing.thread_cycles[0]);
+    }
+
+    #[test]
+    fn interval_model_matches_roofline_for_issue_bound_loop() {
+        let c = cfg();
+        let table = UopTable::skylake_x();
+        let mut interval = IntervalModel::new(c.clone(), table);
+        let mut uops = UopCounts::new();
+        uops.add(UopKind::Load, 1);
+        uops.add(UopKind::VecAlu, 1);
+        uops.add(UopKind::Store, 1);
+        uops.add(UopKind::ScalarAlu, 1);
+        let access = AccessResult {
+            lines: 1,
+            served: {
+                let mut s = [0; 4];
+                s[ServedBy::L1 as usize] = 1;
+                s
+            },
+            latency_sum: u64::from(c.l1d.hit_latency),
+        };
+        for _ in 0..1000 {
+            interval.step(&uops, 4.0, &access, false);
+        }
+        let model = RooflineModel::new(c, table);
+        let mut acct = ThreadAccounting::default();
+        for _ in 0..1000 {
+            acct.uops.merge(&uops);
+            acct.access.merge(&access);
+        }
+        let roofline = model.thread_cycles(&acct);
+        let ratio = interval.now() / roofline;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "interval {} vs roofline {roofline}",
+            interval.now()
+        );
+    }
+
+    #[test]
+    fn loop_carried_chain_serializes_interval_model() {
+        let c = cfg();
+        let table = UopTable::skylake_x();
+        let mut free = IntervalModel::new(c.clone(), table);
+        let mut carried = IntervalModel::new(c, table);
+        let mut uops = UopCounts::new();
+        uops.add(UopKind::ZcompLogic, 1);
+        let access = AccessResult::default();
+        for _ in 0..100 {
+            free.step(&uops, 10.0, &access, false);
+            carried.step(&uops, 10.0, &access, true);
+        }
+        assert!(carried.now() > free.now() * 5.0);
+    }
+
+    #[test]
+    fn mshr_window_overlaps_misses() {
+        let c = cfg();
+        let table = UopTable::skylake_x();
+        let mut m = IntervalModel::new(c.clone(), table);
+        let mut uops = UopCounts::new();
+        uops.add(UopKind::Load, 1);
+        let mut access = AccessResult {
+            lines: 1,
+            ..AccessResult::default()
+        };
+        access.served[ServedBy::Dram as usize] = 1;
+        access.latency_sum = 200;
+        for _ in 0..100 {
+            m.step(&uops, 4.0, &access, false);
+        }
+        // Fully serialized would be 100*196 = 19600; ten MSHRs must cut
+        // this several-fold.
+        assert!(m.now() < 19_600.0 / 4.0, "got {}", m.now());
+        assert!(m.memory_stall_cycles() > 0.0);
+    }
+}

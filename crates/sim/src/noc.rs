@@ -1,0 +1,151 @@
+//! 2D-mesh network-on-chip latency model.
+//!
+//! Table 1: "2D-mesh, XY routing, 2-cycle hop". The mesh connects core
+//! tiles (each with an L3 slice) and edge memory controllers. L3 lines are
+//! address-interleaved across slices, so an L3 access from a core travels
+//! `hops(core_tile, slice_tile)` hops each way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{NocConfig, LINE_BYTES};
+
+/// A tile coordinate in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Column (x).
+    pub x: usize,
+    /// Row (y).
+    pub y: usize,
+}
+
+/// The on-chip 2D mesh.
+///
+/// # Example
+///
+/// ```
+/// use zcomp_sim::noc::Mesh;
+/// use zcomp_sim::config::SimConfig;
+///
+/// let mesh = Mesh::new(SimConfig::table1().noc);
+/// // Core 0 (tile 0,0) to the L3 slice holding some line:
+/// let lat = mesh.l3_round_trip_cycles(0, 0x4000);
+/// assert!(lat >= 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cfg: NocConfig,
+}
+
+impl Mesh {
+    /// Creates a mesh from its configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        assert!(cfg.width > 0 && cfg.height > 0, "mesh must be non-empty");
+        Mesh { cfg }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> usize {
+        self.cfg.width * self.cfg.height
+    }
+
+    /// Tile coordinate of a linear tile index (row-major).
+    pub fn tile(&self, index: usize) -> Tile {
+        Tile {
+            x: index % self.cfg.width,
+            y: (index / self.cfg.width) % self.cfg.height,
+        }
+    }
+
+    /// XY-routed hop count between two tiles.
+    pub fn hops(&self, a: Tile, b: Tile) -> usize {
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// L3 slice tile for a line address (static address interleaving at
+    /// line granularity, as in Sniper's default S-NUCA mapping).
+    pub fn l3_slice_of(&self, addr: u64) -> Tile {
+        let line = addr / LINE_BYTES as u64;
+        self.tile((line as usize) % self.tiles())
+    }
+
+    /// One-way latency in cycles between two tiles.
+    pub fn latency_cycles(&self, a: Tile, b: Tile) -> u32 {
+        (self.hops(a, b) as u32) * self.cfg.hop_latency
+    }
+
+    /// Round-trip cycles for core `core` to reach the L3 slice holding
+    /// `addr` (request + response).
+    pub fn l3_round_trip_cycles(&self, core: usize, addr: u64) -> u32 {
+        let from = self.tile(core % self.tiles());
+        let to = self.l3_slice_of(addr);
+        2 * self.latency_cycles(from, to)
+    }
+
+    /// Average round-trip cycles from a core to a uniformly random slice —
+    /// the value the analytic timing model uses for bulk streams.
+    pub fn avg_l3_round_trip_cycles(&self, core: usize) -> f64 {
+        let from = self.tile(core % self.tiles());
+        let total: usize = (0..self.tiles())
+            .map(|i| self.hops(from, self.tile(i)))
+            .sum();
+        2.0 * self.cfg.hop_latency as f64 * total as f64 / self.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn mesh() -> Mesh {
+        Mesh::new(SimConfig::table1().noc)
+    }
+
+    #[test]
+    fn table1_mesh_is_4x4() {
+        assert_eq!(mesh().tiles(), 16);
+    }
+
+    #[test]
+    fn xy_hops() {
+        let m = mesh();
+        let a = Tile { x: 0, y: 0 };
+        let b = Tile { x: 3, y: 3 };
+        assert_eq!(m.hops(a, b), 6);
+        assert_eq!(m.latency_cycles(a, b), 12); // 6 hops * 2 cycles
+    }
+
+    #[test]
+    fn self_hop_is_free() {
+        let m = mesh();
+        let t = Tile { x: 2, y: 1 };
+        assert_eq!(m.hops(t, t), 0);
+        assert_eq!(m.l3_round_trip_cycles(6, 6 * 64), 0); // line 6 maps to tile 6
+    }
+
+    #[test]
+    fn slices_interleave_by_line() {
+        let m = mesh();
+        assert_eq!(m.l3_slice_of(0), m.tile(0));
+        assert_eq!(m.l3_slice_of(64), m.tile(1));
+        assert_eq!(m.l3_slice_of(16 * 64), m.tile(0));
+    }
+
+    #[test]
+    fn avg_round_trip_is_positive_and_bounded() {
+        let m = mesh();
+        let avg = m.avg_l3_round_trip_cycles(0);
+        assert!(avg > 0.0);
+        // Upper bound: max round trip from corner = 2 * 6 hops * 2 cycles.
+        assert!(avg <= 24.0);
+    }
+
+    #[test]
+    fn tile_roundtrip() {
+        let m = mesh();
+        for i in 0..16 {
+            let t = m.tile(i);
+            assert_eq!(t.y * 4 + t.x, i);
+        }
+    }
+}

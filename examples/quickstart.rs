@@ -1,0 +1,59 @@
+//! Quickstart: the ZCOMP instruction family on a toy feature map.
+//!
+//! Shows the functional side of the reproduction: compressing a sparse
+//! activation buffer with `zcomps` semantics (both comparison conditions
+//! and both header placements) and expanding it back with `zcompl`.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::compress::{compress_f32, compress_f32_with, expand_f32, CompressedStats};
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::stream::HeaderMode;
+
+fn main() {
+    // A toy pre-activation buffer: half the values are negative, as the
+    // output of a convolution would be before its ReLU.
+    let pre_activation: Vec<f32> = (0..64)
+        .map(|i| if i % 2 == 0 { -(i as f32) - 1.0 } else { i as f32 })
+        .collect();
+
+    // --- Fused ReLU + compression: zcomps with the _LTEZ condition ---
+    let stream = compress_f32(&pre_activation, CompareCond::Ltez).expect("whole vectors");
+    let stats = CompressedStats::of(&stream);
+    println!("zcomps _LTEZ (fused ReLU + compress):");
+    println!("  input:       {} bytes", stats.uncompressed_bytes);
+    println!("  compressed:  {} bytes", stats.compressed_bytes);
+    println!("  sparsity:    {:.1}%", stats.sparsity * 100.0);
+    println!("  ratio:       {:.2}x", stats.ratio);
+    println!("  fits original allocation: {}", stats.fits_original);
+
+    // Expanding applies the ReLU: negative lanes come back as zeros.
+    let expanded = expand_f32(&stream).expect("well-formed stream");
+    let relu: Vec<f32> = pre_activation.iter().map(|&x| x.max(0.0)).collect();
+    assert_eq!(expanded, relu);
+    println!("  expand == ReLU(input): verified\n");
+
+    // --- Generic sparse store: zcomps with _EQZ is lossless ---
+    let stream_eqz = compress_f32(&relu, CompareCond::Eqz).expect("whole vectors");
+    assert_eq!(expand_f32(&stream_eqz).expect("roundtrip"), relu);
+    println!(
+        "zcomps _EQZ roundtrip on the sparse map: lossless, {:.2}x ratio",
+        stream_eqz.compression_ratio()
+    );
+
+    // --- Separate-header variant (§3.2) ---
+    let sep = compress_f32_with(&relu, CompareCond::Eqz, HeaderMode::Separate)
+        .expect("whole vectors");
+    println!(
+        "separate-header variant: {} data bytes + {} header bytes",
+        sep.data_bytes(),
+        sep.header_bytes()
+    );
+
+    // --- The §4.1 break-even: headers cost 2 bytes per 64-byte vector ---
+    println!(
+        "\nmetadata break-even compressibility (fp32/512-bit): {:.3}%",
+        ElemType::F32.metadata_breakeven() * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Runs one DeepBench-style ReLU activation layer on the simulated
+//! Table-1 machine under all three schemes and reports what the paper's
+//! Fig. 12 reports: core↔cache traffic, DRAM traffic, and runtime.
+//!
+//! Run with: `cargo run --release --example relu_layer`
+
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+fn main() {
+    // A mid-size feature map: 64 MB uncompressed — larger than the 24 MB
+    // L3, so the baseline streams from DRAM, but compressed it fits.
+    let elements = 16 << 20;
+    let sparsity = 0.53; // the paper's average snapshot sparsity
+    println!(
+        "ReLU layer, {} MB feature map, {:.0}% sparsity, 16 threads\n",
+        elements * 4 >> 20,
+        sparsity * 100.0
+    );
+    let nnz = nnz_synthetic(elements, sparsity, 6.0, 42);
+
+    let mut baseline_cycles = None;
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>9}",
+        "scheme", "core traffic", "DRAM traffic", "cycles", "speedup"
+    );
+    for scheme in [
+        ReluScheme::Avx512Vec,
+        ReluScheme::Avx512Comp,
+        ReluScheme::Zcomp,
+    ] {
+        let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+        let result = run_relu(&mut machine, scheme, &nnz, &ReluOpts::default());
+        let summary = machine.summary();
+        let cycles = result.total_cycles();
+        let speedup = match baseline_cycles {
+            None => {
+                baseline_cycles = Some(cycles);
+                1.0
+            }
+            Some(base) => base / cycles,
+        };
+        println!(
+            "{:<12} {:>11} MB {:>11} MB {:>14.0} {:>8.2}x",
+            scheme.to_string(),
+            summary.traffic.core_bytes() >> 20,
+            summary.traffic.dram_bytes >> 20,
+            cycles,
+            speedup
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulates one training step of a full network with and without
+//! cross-layer ZCOMP compression — the Fig. 13/14 experiment for a single
+//! network, at a reduced batch so the example finishes in seconds.
+//!
+//! Run with: `cargo run --release --example train_network`
+
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::sparsity::SparsityModel;
+use zcomp_dnn::training::training_footprint;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::layer_exec::Scheme;
+use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+fn main() {
+    let model = ModelId::Alexnet;
+    let batch = 16;
+    let net = model.build(batch);
+    let profile = SparsityModel::default().profile(&net, 50);
+
+    println!("network: {model}, batch {batch}, {} layers", net.layers.len());
+    let fp = training_footprint(&net);
+    println!(
+        "training footprint: {} MB total, {:.0}% feature maps\n",
+        fp.total() >> 20,
+        fp.feature_map_fraction() * 100.0
+    );
+
+    let mut base_cycles = None;
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>8} {:>8}",
+        "scheme", "core GB", "DRAM GB", "cycles", "mem%", "speedup"
+    );
+    for scheme in [Scheme::None, Scheme::Avx512Comp, Scheme::Zcomp] {
+        let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+        let result = run_network(
+            &mut machine,
+            &net,
+            &profile,
+            &NetworkExecOpts {
+                scheme,
+                training: true,
+                ..NetworkExecOpts::default()
+            },
+        );
+        let s = &result.summary;
+        let speedup = match base_cycles {
+            None => {
+                base_cycles = Some(s.wall_cycles);
+                1.0
+            }
+            Some(base) => base / s.wall_cycles,
+        };
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>14.0} {:>7.1}% {:>7.3}x",
+            scheme.to_string(),
+            s.traffic.core_bytes() as f64 / 1e9,
+            s.traffic.dram_bytes as f64 / 1e9,
+            s.wall_cycles,
+            s.breakdown.memory_fraction() * 100.0,
+            speedup
+        );
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Summarizes results/fig13.json into the Fig. 13/14 headline numbers."""
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "results/fig13.json"
+data = json.load(open(path))
+
+
+def cell(row, scheme):
+    return next(c for c in row["cells"] if c["scheme"] == scheme)
+
+
+def mean(xs):
+    return sum(xs) / len(xs)
+
+
+for mode in ["Training", "Inference"]:
+    rows = [r for r in data["rows"] if r["mode"] == mode]
+    for scheme in ["Avx512Comp", "Zcomp"]:
+        red = mean(
+            [1 - cell(r, scheme)["onchip_bytes"] / cell(r, "None")["onchip_bytes"] for r in rows]
+        )
+        spd = mean([cell(r, "None")["cycles"] / cell(r, scheme)["cycles"] for r in rows])
+        print(f"{mode:<9} {scheme:<11} traffic cut {red*100:5.1f}%  speedup {spd:.3f}x")
+slow = sum(
+    1
+    for r in data["rows"]
+    if cell(r, "None")["cycles"] / cell(r, "Avx512Comp")["cycles"] < 1.0
+)
+print(f"avx512-comp slowdowns: {slow}/10")
+for r in data["rows"]:
+    if r["mode"] == "Training":
+        print(
+            f"  mem-stall {r['model']:<20} {cell(r,'None')['memory_fraction']*100:.0f}%"
+        )

@@ -1,0 +1,14 @@
+//! Workspace-root helper library for the ZCOMP reproduction.
+//!
+//! The real functionality lives in the `zcomp*` crates under `crates/`; this
+//! tiny crate exists so the repository root can host the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! See [`zcomp`] for the top-level experiment API.
+
+pub use zcomp;
+pub use zcomp_cachecomp;
+pub use zcomp_dnn;
+pub use zcomp_isa;
+pub use zcomp_kernels;
+pub use zcomp_sim;

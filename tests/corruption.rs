@@ -1,0 +1,103 @@
+//! Failure-injection tests: corrupted, truncated and mismatched streams
+//! must produce typed errors or well-defined wrong data — never panics,
+//! hangs or out-of-bounds reads.
+
+use proptest::prelude::*;
+use zcomp_dnn::sparsity::generate_activations;
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::compress::{compress_f32, expand_f32};
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::error::ZcompError;
+use zcomp_isa::stream::{CompressedStream, CompressedWriter, HeaderMode};
+use zcomp_isa::vec512::Vec512;
+
+/// Builds a valid stream, then round-trips it through serde so we can
+/// mutate the raw regions (the public API deliberately hides them behind
+/// accessors; serde is the supported escape hatch for tooling).
+fn rebuild_with_data(stream: &CompressedStream, data: Vec<u8>) -> CompressedStream {
+    let mut v = serde_json::to_value(stream).expect("stream serializes");
+    v["data"] = serde_json::to_value(&data).expect("bytes serialize");
+    serde_json::from_value(v).expect("stream deserializes")
+}
+
+#[test]
+fn truncation_every_boundary_is_detected() {
+    let data = generate_activations(256, 0.5, 4.0, 1);
+    let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+    let raw = stream.data().to_vec();
+    // Chop the data region at every possible length: expansion must
+    // either succeed on a prefix (never, because the vector count is
+    // fixed) or report Truncated — and must never panic.
+    for len in 0..raw.len() {
+        let cut = rebuild_with_data(&stream, raw[..len].to_vec());
+        let result = expand_f32(&cut);
+        assert!(
+            matches!(result, Err(ZcompError::Truncated { .. })),
+            "len {len}: expected truncation error, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn validate_accepts_exactly_the_writer_output() {
+    let data = generate_activations(512, 0.53, 6.0, 2);
+    let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+    stream.validate().expect("writer output is valid");
+    // Appending trailing garbage must be rejected.
+    let mut raw = stream.data().to_vec();
+    raw.push(0xAA);
+    let bloated = rebuild_with_data(&stream, raw);
+    assert!(bloated.validate().is_err(), "trailing byte must be caught");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Flipping any single byte of the data region never panics: the
+    /// reader either errors or returns (possibly wrong) data of the right
+    /// shape.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        seed in 0u64..1000,
+        flip_pos_frac in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        let data = generate_activations(256, 0.5, 4.0, seed);
+        let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+        let mut raw = stream.data().to_vec();
+        let pos = ((raw.len() - 1) as f64 * flip_pos_frac) as usize;
+        raw[pos] ^= flip_bits;
+        let corrupted = rebuild_with_data(&stream, raw);
+        match expand_f32(&corrupted) {
+            Ok(out) => prop_assert_eq!(out.len(), data.len(), "shape preserved"),
+            Err(ZcompError::Truncated { .. }) => {} // header now claims more data
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Corrupting a header never lets the reader walk out of bounds.
+    #[test]
+    fn header_corruption_in_separate_mode(seed in 0u64..500, flip in 1u8..=255) {
+        let data = generate_activations(128, 0.6, 4.0, seed);
+        let mut w = CompressedWriter::new(ElemType::F32, HeaderMode::Separate);
+        for chunk in data.chunks_exact(16) {
+            let mut lanes = [0.0f32; 16];
+            lanes.copy_from_slice(chunk);
+            w.write_vector(&Vec512::from_f32_lanes(&lanes), CompareCond::Eqz)
+                .expect("unbounded");
+        }
+        let stream = w.finish();
+        let mut v = serde_json::to_value(&stream).expect("serializes");
+        let mut headers: Vec<u8> =
+            serde_json::from_value(v["headers"].clone()).expect("bytes");
+        headers[0] ^= flip;
+        v["headers"] = serde_json::to_value(&headers).expect("bytes");
+        let corrupted: CompressedStream = serde_json::from_value(v).expect("deserializes");
+        // Must terminate with either data (wrong but shaped) or an error.
+        match expand_f32(&corrupted) {
+            Ok(out) => prop_assert_eq!(out.len(), data.len()),
+            Err(ZcompError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}

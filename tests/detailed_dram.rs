@@ -1,0 +1,70 @@
+//! Integration tests of the optional detailed DRAM bank model inside the
+//! full hierarchy.
+
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::hierarchy::MemorySystem;
+
+fn detailed_cfg() -> SimConfig {
+    let mut cfg = SimConfig::test_tiny();
+    cfg.dram.detailed_banks = true;
+    cfg
+}
+
+#[test]
+fn streaming_workload_is_row_buffer_friendly() {
+    // The paper's workloads are bulk-sequential; the detailed model must
+    // agree with the flat model's premise that row-buffer locality is
+    // high for them.
+    let mut mem = MemorySystem::new(detailed_cfg());
+    for i in 0..16_384u64 {
+        mem.read(0, i * 64, 64);
+    }
+    let stats = *mem.dram().row_stats();
+    assert!(
+        stats.hit_rate() > 0.85,
+        "sequential stream hit rate {}",
+        stats.hit_rate()
+    );
+}
+
+#[test]
+fn detailed_model_lowers_latency_for_streams() {
+    // Row hits are cheaper than the flat base latency, so a streaming
+    // read's accumulated latency must not exceed the flat model's.
+    let run = |detailed: bool| -> u64 {
+        let mut cfg = SimConfig::test_tiny();
+        cfg.dram.detailed_banks = detailed;
+        cfg.l2_prefetch.enabled = false;
+        cfg.l1_prefetch.enabled = false;
+        let mut mem = MemorySystem::new(cfg);
+        let mut total = 0u64;
+        for i in 0..4096u64 {
+            total += mem.read(0, i * 64, 64).latency_sum;
+        }
+        total
+    };
+    let flat = run(false);
+    let detailed = run(true);
+    assert!(
+        detailed < flat,
+        "streaming with row buffers {detailed} vs flat {flat}"
+    );
+}
+
+#[test]
+fn scattered_workload_pays_conflicts() {
+    let mut cfg = SimConfig::test_tiny();
+    cfg.dram.detailed_banks = true;
+    cfg.l2_prefetch.enabled = false;
+    cfg.l1_prefetch.enabled = false;
+    let mut mem = MemorySystem::new(cfg);
+    // 8 MB stride: same banks, different rows each time.
+    for i in 0..2048u64 {
+        mem.read(0, i * (8 << 20), 64);
+    }
+    let stats = *mem.dram().row_stats();
+    assert!(
+        stats.row_conflicts > stats.row_hits,
+        "scattered pattern: {stats:?}"
+    );
+}

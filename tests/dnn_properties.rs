@@ -1,0 +1,80 @@
+//! Property-based tests on the DNN substrate and partitioning.
+
+use proptest::prelude::*;
+use zcomp_dnn::models::ModelId;
+use zcomp_dnn::sparsity::{generate_activations, measured_sparsity, SparsityModel};
+use zcomp_kernels::partition::{partition, sub_blocks};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_is_exact_cover(elements in 0usize..100_000, threads in 1usize..64) {
+        let chunks = partition(elements, threads, 16);
+        prop_assert_eq!(chunks.len(), threads);
+        let mut cursor = 0usize;
+        for (i, c) in chunks.iter().enumerate() {
+            prop_assert_eq!(c.thread, i);
+            prop_assert_eq!(c.start, cursor);
+            prop_assert!(c.end >= c.start);
+            cursor = c.end;
+        }
+        prop_assert_eq!(cursor, elements);
+    }
+
+    #[test]
+    fn partition_interior_boundaries_are_vector_aligned(
+        elements in 1usize..100_000,
+        threads in 1usize..32,
+    ) {
+        let chunks = partition(elements, threads, 16);
+        for c in &chunks[..threads - 1] {
+            prop_assert_eq!(c.end % 16, 0, "chunk end {} not aligned", c.end);
+        }
+    }
+
+    #[test]
+    fn sub_blocks_cover_their_chunk(
+        elements in 16usize..50_000,
+        blocks in 1usize..16,
+    ) {
+        let chunks = partition(elements, 3, 16);
+        for chunk in &chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            let blocks_v = sub_blocks(chunk, blocks, 16);
+            let total: usize = blocks_v.iter().map(|b| b.end - b.start).sum();
+            prop_assert_eq!(total, chunk.end - chunk.start);
+            prop_assert!(blocks_v.iter().all(|b| b.start >= chunk.start && b.end <= chunk.end));
+        }
+    }
+
+    #[test]
+    fn generated_sparsity_tracks_target(target in 0.05f64..0.95, run in 2.0f64..16.0) {
+        let data = generate_activations(100_000, target, run, 9);
+        let got = measured_sparsity(&data);
+        prop_assert!((got - target).abs() < 0.06, "target {target} got {got}");
+    }
+
+    #[test]
+    fn sparsity_profiles_are_bounded(epoch in 0usize..200) {
+        let net = ModelId::Resnet32.build(2);
+        let profile = SparsityModel::default().profile(&net, epoch);
+        for (i, &s) in profile.per_layer.iter().enumerate() {
+            prop_assert!((0.0..=0.95).contains(&s), "layer {i}: {s}");
+        }
+    }
+
+    #[test]
+    fn networks_rebatch_consistently(batch in 1usize..32) {
+        let base = ModelId::Resnet32.build(1);
+        let scaled = base.with_batch(batch);
+        prop_assert_eq!(scaled.params(), base.params(), "weights batch-independent");
+        prop_assert_eq!(
+            scaled.feature_map_bytes(),
+            base.feature_map_bytes() * batch
+        );
+        prop_assert_eq!(scaled.flops(), base.flops() * batch as u64);
+    }
+}

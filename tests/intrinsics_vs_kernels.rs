@@ -1,0 +1,142 @@
+//! Cross-validation: the timing kernels' byte accounting must agree with
+//! the byte-exact intrinsic execution of the same partitioned workload.
+
+use zcomp_dnn::sparsity::generate_preactivations;
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::intrinsics::{mm512_zcompl_i_ps, mm512_zcomps_i_ps, Ptr, SimMemory};
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_from_data;
+use zcomp_kernels::partition::partition;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+/// Executes the partitioned Fig. 8 loop functionally (per-thread streams
+/// over simulated memory) and compares the bytes written against the
+/// timing kernel's `output_bytes` for the same data.
+#[test]
+fn timing_kernel_bytes_match_functional_execution() {
+    let threads = 4;
+    let elements = 8 * 1024;
+    let data = generate_preactivations(elements, 0.53, 6.0, 0xC0DE);
+
+    // --- functional execution over simulated memory ---
+    let mut mem = SimMemory::new(elements * 4 * 3);
+    let x_base = 0u64;
+    let y_base = (elements * 4) as u64 + 4096;
+    for (i, &v) in data.iter().enumerate() {
+        mem.store_f32(x_base + i as u64 * 4, v);
+    }
+    let chunks = partition(elements, threads, 16);
+    let mut functional_bytes = 0u64;
+    for chunk in &chunks {
+        // Each thread gets its own slice of Y (Fig. 8's Y_ptr setup).
+        let mut y_ptr = Ptr::new(y_base + chunk.start as u64 * 4);
+        let start_addr = y_ptr.addr();
+        for v in 0..chunk.len() / 16 {
+            let tvec = mem
+                .load_vec(x_base + (chunk.start + v * 16) as u64 * 4)
+                .expect("in bounds");
+            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez)
+                .expect("enough compressibility");
+        }
+        functional_bytes += y_ptr.addr() - start_addr;
+    }
+
+    // --- timing kernel over the same data ---
+    let nnz = nnz_from_data(&data, CompareCond::Ltez);
+    let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+    let result = run_relu(
+        &mut machine,
+        ReluScheme::Zcomp,
+        &nnz,
+        &ReluOpts {
+            threads,
+            consumer_pass: false,
+            ..ReluOpts::default()
+        },
+    );
+    assert_eq!(
+        result.output_bytes, functional_bytes,
+        "timing-kernel byte accounting must be byte-exact"
+    );
+}
+
+/// The functional retrieval loop (Fig. 9) recovers exactly the ReLU of
+/// the input across partitioned per-thread streams.
+#[test]
+fn partitioned_retrieval_recovers_relu() {
+    let threads = 3;
+    let elements = 4 * 1024 + 16; // non-divisible by threads
+    let data = generate_preactivations(elements, 0.4, 4.0, 0xBEEF);
+    let mut mem = SimMemory::new(elements * 4 * 3);
+    let x_base = 0u64;
+    let y_base = (elements * 4) as u64 + 4096;
+    for (i, &v) in data.iter().enumerate() {
+        mem.store_f32(x_base + i as u64 * 4, v);
+    }
+    let chunks = partition(elements, threads, 16);
+    for chunk in &chunks {
+        let mut y_ptr = Ptr::new(y_base + chunk.start as u64 * 4);
+        for v in 0..chunk.len() / 16 {
+            let tvec = mem
+                .load_vec(x_base + (chunk.start + v * 16) as u64 * 4)
+                .expect("in bounds");
+            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez)
+                .expect("fits");
+        }
+    }
+    // Retrieval must use the same partitioning (§4.3: "the expansion
+    // needs to match the compression parallelization strategy").
+    for chunk in &chunks {
+        let mut y_ptr = Ptr::new(y_base + chunk.start as u64 * 4);
+        for v in 0..chunk.len() / 16 {
+            let tvec = mm512_zcompl_i_ps(&mem, &mut y_ptr).expect("valid stream");
+            for lane in 0..16 {
+                let idx = chunk.start + v * 16 + lane;
+                assert_eq!(tvec.f32_lane(lane), data[idx].max(0.0), "element {idx}");
+            }
+        }
+    }
+}
+
+/// Retrieving with the *wrong* partitioning produces garbage — the §4.3
+/// caveat made concrete.
+#[test]
+fn mismatched_partitioning_breaks_retrieval() {
+    let elements = 2 * 1024;
+    let data = generate_preactivations(elements, 0.5, 4.0, 0xDEAD);
+    let mut mem = SimMemory::new(elements * 4 * 3);
+    let y_base = (elements * 4) as u64 + 4096;
+    for (i, &v) in data.iter().enumerate() {
+        mem.store_f32(i as u64 * 4, v);
+    }
+    // Compress with 4 threads.
+    for chunk in &partition(elements, 4, 16) {
+        let mut y_ptr = Ptr::new(y_base + chunk.start as u64 * 4);
+        for v in 0..chunk.len() / 16 {
+            let tvec = mem
+                .load_vec((chunk.start + v * 16) as u64 * 4)
+                .expect("in bounds");
+            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez).expect("fits");
+        }
+    }
+    // Read back as ONE stream: thread 0's chunk decodes fine, but the
+    // first vector of thread 1's chunk (at a different offset) does not
+    // line up, so some retrieved element must differ.
+    let mut y_ptr = Ptr::new(y_base);
+    let mut mismatch = false;
+    for v in 0..elements / 16 {
+        let Ok(tvec) = mm512_zcompl_i_ps(&mem, &mut y_ptr) else {
+            mismatch = true;
+            break;
+        };
+        for lane in 0..16 {
+            let idx = v * 16 + lane;
+            if tvec.f32_lane(lane) != data[idx].max(0.0) {
+                mismatch = true;
+            }
+        }
+    }
+    assert!(mismatch, "sequential read of partitioned streams must fail");
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the ZCOMP stream format across crates.
+
+use proptest::prelude::*;
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::compress::{compress_f32, compress_f32_with, expand_f32};
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::stream::{CompressedWriter, HeaderMode};
+use zcomp_isa::vec512::Vec512;
+use zcomp_kernels::nnz::nnz_from_data;
+
+/// Strategy: a buffer of whole vectors with mixed zero/negative/positive
+/// values.
+fn activation_buffer() -> impl Strategy<Value = Vec<f32>> {
+    let lane = prop_oneof![
+        3 => Just(0.0f32),
+        2 => -100.0f32..0.0,
+        3 => 0.001f32..100.0,
+        1 => Just(-0.0f32),
+    ];
+    proptest::collection::vec(lane, 16..512).prop_map(|mut v| {
+        v.truncate(v.len() / 16 * 16);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn eqz_roundtrip_preserves_values_up_to_zero_sign(data in activation_buffer()) {
+        let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+        let out = expand_f32(&stream).expect("roundtrip");
+        prop_assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            // -0.0 compresses and expands as +0.0; everything else is
+            // preserved bit-exactly.
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ltez_roundtrip_equals_relu(data in activation_buffer()) {
+        let stream = compress_f32(&data, CompareCond::Ltez).expect("whole vectors");
+        let out = expand_f32(&stream).expect("roundtrip");
+        for (a, b) in data.iter().zip(&out) {
+            let relu = if *a <= 0.0 { 0.0 } else { *a };
+            prop_assert_eq!(relu.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn interleaved_and_separate_expand_identically(data in activation_buffer()) {
+        let inter = compress_f32_with(&data, CompareCond::Eqz, HeaderMode::Interleaved)
+            .expect("whole vectors");
+        let sep = compress_f32_with(&data, CompareCond::Eqz, HeaderMode::Separate)
+            .expect("whole vectors");
+        prop_assert_eq!(expand_f32(&inter).expect("inter"), expand_f32(&sep).expect("sep"));
+        // Same total storage, different placement.
+        prop_assert_eq!(inter.compressed_bytes(), sep.compressed_bytes());
+        prop_assert_eq!(sep.header_bytes(), sep.vectors() * 2);
+    }
+
+    #[test]
+    fn compressed_size_matches_nnz_accounting(data in activation_buffer()) {
+        // The kernels' NNZ-based size math must agree byte-for-byte with
+        // the real stream writer.
+        let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+        let nnz = nnz_from_data(&data, CompareCond::Eqz);
+        let expect: u64 = nnz.iter().map(|&n| 2 + n as u64 * 4).sum();
+        prop_assert_eq!(stream.compressed_bytes() as u64, expect);
+    }
+
+    #[test]
+    fn stream_size_is_monotone_in_sparsity(base in activation_buffer()) {
+        // Zeroing more lanes never grows the stream.
+        let stream_a = compress_f32(&base, CompareCond::Eqz).expect("whole vectors");
+        let mut sparser = base.clone();
+        for (i, v) in sparser.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let stream_b = compress_f32(&sparser, CompareCond::Eqz).expect("whole vectors");
+        prop_assert!(stream_b.compressed_bytes() <= stream_a.compressed_bytes());
+    }
+
+    #[test]
+    fn writer_with_tight_limit_never_corrupts(data in activation_buffer()) {
+        // A writer with a limit either accepts a vector fully or rejects
+        // it leaving the stream readable.
+        let limit = data.len() * 2; // half the uncompressed size
+        let mut w = CompressedWriter::with_limits(
+            ElemType::F32,
+            HeaderMode::Interleaved,
+            Some(limit),
+            None,
+        );
+        let mut accepted = Vec::new();
+        for chunk in data.chunks_exact(16) {
+            let mut lanes = [0.0f32; 16];
+            lanes.copy_from_slice(chunk);
+            let v = Vec512::from_f32_lanes(&lanes);
+            if w.write_vector(&v, CompareCond::Eqz).is_ok() {
+                accepted.extend_from_slice(chunk);
+            } else {
+                break;
+            }
+        }
+        let stream = w.finish();
+        prop_assert!(stream.compressed_bytes() <= limit);
+        let out = expand_f32(&stream).expect("accepted prefix is valid");
+        prop_assert_eq!(out.len(), accepted.len());
+    }
+}

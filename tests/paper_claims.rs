@@ -1,0 +1,167 @@
+//! End-to-end integration tests asserting the paper's qualitative claims
+//! at reduced scale: who wins, in which regime, by roughly what factor.
+
+use std::sync::OnceLock;
+
+use zcomp::experiments::fullnet::FullNetResult;
+use zcomp::experiments::{ablations, fig02, fig03, fig12, fig15, fullnet};
+use zcomp_dnn::deepbench::{suite_configs, Suite};
+use zcomp_kernels::layer_exec::Scheme;
+use zcomp_kernels::relu::ReluScheme;
+
+/// The scaled full-network run is the most expensive fixture; share it.
+fn fullnet_quick() -> &'static FullNetResult {
+    static RESULT: OnceLock<FullNetResult> = OnceLock::new();
+    RESULT.get_or_init(|| fullnet::run(32))
+}
+
+/// §5.2 / Fig. 12: both compression schemes cut core and DRAM traffic;
+/// ZCOMP cuts at least as much as avx512-comp on average.
+#[test]
+fn relu_traffic_reductions_follow_paper_ordering() {
+    let configs = suite_configs(Suite::ConvTrain);
+    let result = fig12::run_configs(&configs[4..9], 64, 0.53);
+    let s = result.summary();
+    assert!(
+        s.zcomp_core_reduction > 0.25,
+        "zcomp core reduction {}",
+        s.zcomp_core_reduction
+    );
+    assert!(
+        s.avx_core_reduction > 0.20,
+        "avx core reduction {}",
+        s.avx_core_reduction
+    );
+    assert!(
+        s.zcomp_core_reduction >= s.avx_core_reduction,
+        "zcomp {} must beat avx512-comp {}",
+        s.zcomp_core_reduction,
+        s.avx_core_reduction
+    );
+    assert!(
+        s.zcomp_dram_reduction >= s.avx_dram_reduction - 0.02,
+        "dram: zcomp {} vs avx {}",
+        s.zcomp_dram_reduction,
+        s.avx_dram_reduction
+    );
+}
+
+/// Fig. 12(c): ZCOMP is faster than both the baseline and avx512-comp on
+/// memory-resident shapes.
+#[test]
+fn zcomp_is_fastest_on_large_shapes() {
+    let configs = suite_configs(Suite::ConvTrain);
+    // The largest conv-train shapes, scaled to stay several x the L3.
+    let result = fig12::run_configs(&configs[9..11], 4, 0.53);
+    for row in &result.rows {
+        assert!(
+            row.speedup(ReluScheme::Zcomp) > 1.2,
+            "{}: zcomp speedup {}",
+            row.config.name,
+            row.speedup(ReluScheme::Zcomp)
+        );
+        let avx = row.speedup(ReluScheme::Avx512Comp);
+        let z = row.speedup(ReluScheme::Zcomp);
+        assert!(z >= avx, "{}: zcomp {z} vs avx {avx}", row.config.name);
+    }
+}
+
+/// Fig. 12(c): avx512-comp degrades small cache-resident shapes.
+#[test]
+fn avx512_comp_degrades_small_shapes() {
+    let configs = suite_configs(Suite::ConvInfer);
+    let result = fig12::run_configs(&configs[..3], 1, 0.53);
+    let degraded = result
+        .rows
+        .iter()
+        .filter(|r| r.speedup(ReluScheme::Avx512Comp) < 1.0)
+        .count();
+    assert!(
+        degraded >= 2,
+        "expected avx512-comp slowdowns on small shapes, got {degraded}/3"
+    );
+}
+
+/// Fig. 13/14: training benefits exceed inference benefits, and ZCOMP
+/// dominates avx512-comp end to end.
+#[test]
+fn fullnet_training_beats_inference() {
+    let result = fullnet_quick();
+    let s = result.summary();
+    assert!(s.zcomp_train_traffic > s.zcomp_infer_traffic);
+    assert!(s.zcomp_train_speedup > 1.0, "{}", s.zcomp_train_speedup);
+    assert!(s.zcomp_train_speedup >= s.avx_train_speedup);
+    assert!(s.zcomp_train_traffic >= s.avx_train_traffic);
+}
+
+/// Fig. 14: ZCOMP never slows a network down; avx512-comp does.
+#[test]
+fn zcomp_is_reliable_avx_is_not() {
+    let result = fullnet_quick();
+    for row in &result.rows {
+        assert!(
+            row.speedup(Scheme::Zcomp) > 0.97,
+            "{} {}: zcomp {}",
+            row.model,
+            row.mode,
+            row.speedup(Scheme::Zcomp)
+        );
+    }
+    let s = result.summary();
+    assert!(
+        s.avx_slowdowns >= 1,
+        "avx512-comp should slow some benchmark down"
+    );
+}
+
+/// Fig. 15: compression-ratio ordering ZCOMP > LimitCC > TwoTagCC.
+#[test]
+fn cache_compression_ordering() {
+    let result = fig15::run(3, 128 * 1024);
+    let (z, l, t) = result.geomeans();
+    assert!(z > l && l > t, "zcomp {z}, limitcc {l}, twotag {t}");
+    assert!(t < 1.5, "twotag must stay modest: {t}");
+}
+
+/// Fig. 2: all five networks show substantial memory-stall fractions.
+#[test]
+fn cycle_breakdown_shows_memory_stalls() {
+    let result = fig02::run(32);
+    for row in &result.rows {
+        assert!(
+            row.memory > 0.03 && row.memory < 0.8,
+            "{}: {}",
+            row.model,
+            row.memory
+        );
+    }
+}
+
+/// Fig. 3: the feature-map share dominates training footprints.
+#[test]
+fn footprints_are_feature_map_dominated() {
+    let result = fig03::run();
+    let avg: f64 = result
+        .rows
+        .iter()
+        .map(|r| r.footprint.feature_map_fraction())
+        .sum::<f64>()
+        / result.rows.len() as f64;
+    assert!(avg > 0.40, "average feature-map share {avg}");
+}
+
+/// §3.3: the 3-cycle logic variant performs like the 2-cycle one.
+#[test]
+fn logic_latency_insensitivity() {
+    let r = ablations::logic_latency(256 * 1024, &[2, 3]);
+    assert!(r.relative_change().abs() < 0.05, "{}", r.relative_change());
+}
+
+/// §4.1: the interleaved header fits the original allocation exactly when
+/// compressibility exceeds 3.125%.
+#[test]
+fn header_breakeven_behaviour() {
+    let r = ablations::header_mode(64 * 1024, &[0.01, 0.06]);
+    assert!(!r.points[0].fits_original);
+    assert!(r.points[1].fits_original);
+}

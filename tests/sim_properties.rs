@@ -1,0 +1,85 @@
+//! Property-based tests of the simulator's invariants.
+
+use proptest::prelude::*;
+use zcomp_isa::instr::Instr;
+use zcomp_isa::uops::UopTable;
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::{Machine, PhaseMode};
+use zcomp_sim::hierarchy::{MemorySystem, ServedBy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn served_lines_partition_total(addrs in proptest::collection::vec(0u64..1u64 << 22, 1..200)) {
+        let mut mem = MemorySystem::new(SimConfig::test_tiny());
+        for &a in &addrs {
+            let r = mem.read(0, a, 64);
+            let served: u32 = (0..ServedBy::COUNT).map(|i| r.served[i]).sum();
+            prop_assert_eq!(served, r.lines);
+        }
+    }
+
+    #[test]
+    fn repeated_reads_never_increase_dram_traffic(addrs in proptest::collection::vec(0u64..1u64 << 16, 1..100)) {
+        // Re-reading the same working set must not move more DRAM bytes
+        // than the first pass (caches only help).
+        let mut mem = MemorySystem::new(SimConfig::test_tiny());
+        for &a in &addrs {
+            mem.read(0, a, 64);
+        }
+        let first = mem.traffic().dram_bytes;
+        for &a in &addrs {
+            mem.read(0, a, 64);
+        }
+        let second = mem.traffic().dram_bytes - first;
+        prop_assert!(second <= first, "second pass {second} vs first {first}");
+    }
+
+    #[test]
+    fn dram_traffic_is_line_granular(addr in 0u64..1u64 << 30, bytes in 1u32..256) {
+        let mut mem = MemorySystem::new(SimConfig::test_tiny());
+        mem.read(0, addr, bytes);
+        prop_assert_eq!(mem.traffic().dram_bytes % 64, 0);
+    }
+
+    #[test]
+    fn phase_cycles_are_monotone_in_work(n in 1usize..200) {
+        let table = UopTable::skylake_x();
+        let run = |count: usize| -> f64 {
+            let mut m = Machine::new(SimConfig::test_tiny(), table);
+            for i in 0..count {
+                m.exec(0, &Instr::VLoad { addr: i as u64 * 64 });
+            }
+            m.end_phase(PhaseMode::Parallel).wall_cycles
+        };
+        prop_assert!(run(n + 50) >= run(n));
+    }
+
+    #[test]
+    fn breakdown_is_nonnegative(stores in 1usize..300) {
+        let mut m = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+        for i in 0..stores {
+            m.exec(i % 2, &Instr::VStore { addr: i as u64 * 64 });
+        }
+        let phase = m.end_phase(PhaseMode::Parallel);
+        prop_assert!(phase.breakdown.compute >= 0.0);
+        prop_assert!(phase.breakdown.memory >= 0.0);
+        prop_assert!(phase.breakdown.sync >= 0.0);
+        prop_assert!(phase.wall_cycles > 0.0);
+    }
+
+    #[test]
+    fn serialized_never_faster_than_parallel(vectors in 8usize..128) {
+        let run = |mode: PhaseMode| -> f64 {
+            let mut m = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+            for i in 0..vectors {
+                m.exec(i % 2, &Instr::VStore { addr: (i as u64) * 64 });
+            }
+            m.end_phase(mode).wall_cycles
+        };
+        let par = run(PhaseMode::Parallel);
+        let ser = run(PhaseMode::Serialized);
+        prop_assert!(ser + 1e-9 >= par, "serialized {ser} < parallel {par}");
+    }
+}
