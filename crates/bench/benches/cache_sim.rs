@@ -58,7 +58,6 @@ fn bench_random(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion tuned for CI-scale runs: small sample counts so the whole
 /// suite finishes quickly even on a single core.
 fn fast() -> Criterion {

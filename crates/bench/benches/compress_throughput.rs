@@ -14,11 +14,9 @@ fn bench_compress(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((elements * 4) as u64));
     for sparsity_pct in [10u32, 53, 90] {
         let data = generate_activations(elements, f64::from(sparsity_pct) / 100.0, 6.0, 11);
-        group.bench_with_input(
-            BenchmarkId::new("eqz", sparsity_pct),
-            &data,
-            |b, data| b.iter(|| compress_f32(data, CompareCond::Eqz).expect("whole vectors")),
-        );
+        group.bench_with_input(BenchmarkId::new("eqz", sparsity_pct), &data, |b, data| {
+            b.iter(|| compress_f32(data, CompareCond::Eqz).expect("whole vectors"))
+        });
     }
     group.finish();
 }
@@ -38,7 +36,6 @@ fn bench_expand(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Criterion tuned for CI-scale runs: small sample counts so the whole
 /// suite finishes quickly even on a single core.

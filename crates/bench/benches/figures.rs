@@ -14,7 +14,6 @@ fn bench_figures(c: &mut Criterion) {
     });
 }
 
-
 /// Criterion tuned for CI-scale runs: small sample counts so the whole
 /// suite finishes quickly even on a single core.
 fn fast() -> Criterion {

@@ -35,7 +35,6 @@ fn bench_relu_schemes(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion tuned for CI-scale runs: small sample counts so the whole
 /// suite finishes quickly even on a single core.
 fn fast() -> Criterion {

@@ -1,0 +1,42 @@
+//! Fault-injection campaign: detection rate, silent-corruption rate,
+//! degradation overhead and desync distance, swept over fault rate ×
+//! injection site, under the strong (separate headers + CRC32) and weak
+//! (interleaved, no checksum) integrity policies.
+
+use zcomp::experiments::fault_campaign::{run_config, CampaignConfig, FaultCampaignResult};
+use zcomp::report::pct;
+use zcomp_bench::{print_machine, print_table, FigArgs};
+
+#[derive(serde::Serialize)]
+struct Output {
+    strong: FaultCampaignResult,
+    weak: FaultCampaignResult,
+}
+
+fn print_summary(label: &str, r: &FaultCampaignResult) {
+    let s = r.summary();
+    println!("== Fault campaign summary: {label} ==");
+    println!(
+        "stream hits {}   detection {}   silent {}   retry-recovered {}   fallbacks {}   max desync {} vectors",
+        s.stream_hits,
+        pct(s.detection_rate),
+        s.silent_runs,
+        s.recovered_runs,
+        s.fallback_runs,
+        s.max_desync_vectors
+    );
+    println!();
+}
+
+fn main() {
+    let args = FigArgs::from_env();
+    print_machine();
+    let cfg = CampaignConfig::default_scaled(args.scale);
+    let strong = run_config(&cfg);
+    let weak = run_config(&cfg.clone().weak_policy());
+    print_table(&strong.table());
+    print_summary("separate headers + CRC32 (strong)", &strong);
+    print_table(&weak.table());
+    print_summary("interleaved, no checksum (weak)", &weak);
+    args.save_json(&Output { strong, weak });
+}

@@ -9,8 +9,7 @@ fn main() {
     let _args = FigArgs::from_env();
     print_machine();
     for model in ModelId::ALL {
-        let result =
-            zcomp::experiments::sweeps::batch_sweep(model, &[1, 4, 16, 64, 128, 256]);
+        let result = zcomp::experiments::sweeps::batch_sweep(model, &[1, 4, 16, 64, 128, 256]);
         print_table(&result.table());
     }
 }

@@ -7,10 +7,7 @@ fn main() {
     let args = FigArgs::from_env();
     print_machine();
     let elements = (16 << 20) / args.scale.max(1);
-    let result = zcomp::experiments::thread_sweep::run(
-        elements.max(128 * 1024),
-        &[1, 2, 4, 8, 16],
-    );
+    let result = zcomp::experiments::thread_sweep::run(elements.max(128 * 1024), &[1, 2, 4, 8, 16]);
     print_table(&result.table());
     args.save_json(&result);
 }

@@ -19,12 +19,30 @@ struct BdiOption {
 
 /// The canonical BDI encoding set (base8/Δ1..4, base4/Δ1..2, base2/Δ1).
 const OPTIONS: [BdiOption; 6] = [
-    BdiOption { base_bytes: 8, delta_bytes: 1 },
-    BdiOption { base_bytes: 8, delta_bytes: 2 },
-    BdiOption { base_bytes: 8, delta_bytes: 4 },
-    BdiOption { base_bytes: 4, delta_bytes: 1 },
-    BdiOption { base_bytes: 4, delta_bytes: 2 },
-    BdiOption { base_bytes: 2, delta_bytes: 1 },
+    BdiOption {
+        base_bytes: 8,
+        delta_bytes: 1,
+    },
+    BdiOption {
+        base_bytes: 8,
+        delta_bytes: 2,
+    },
+    BdiOption {
+        base_bytes: 8,
+        delta_bytes: 4,
+    },
+    BdiOption {
+        base_bytes: 4,
+        delta_bytes: 1,
+    },
+    BdiOption {
+        base_bytes: 4,
+        delta_bytes: 2,
+    },
+    BdiOption {
+        base_bytes: 2,
+        delta_bytes: 1,
+    },
 ];
 
 /// BDI metadata per line: encoding selector plus the zero-word bitmap.

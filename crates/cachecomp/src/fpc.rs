@@ -9,9 +9,9 @@
 //! ZCOMP paper attributes LimitCC's modest ratios to that overhead,
 //! compared with ZCOMP's two bytes per line).
 
-use crate::line::{words_of, LINE_BYTES};
 #[cfg(test)]
 use crate::line::WORDS_PER_LINE;
+use crate::line::{words_of, LINE_BYTES};
 
 /// Bits of the per-word FPC pattern prefix.
 const PREFIX_BITS: usize = 3;
@@ -22,6 +22,13 @@ pub const FPCD_LINE_PREFIX_BYTES: usize = 8;
 
 /// Number of dictionary entries FPC-D tracks while scanning a line.
 const FPCD_DICT_ENTRIES: usize = 4;
+
+/// Whether both halfwords of `word` are sign-extended bytes.
+fn halfwords_are_sign_extended_bytes(word: u32) -> bool {
+    let lo = (word & 0xFFFF) as i16 as i32;
+    let hi = (word >> 16) as i16 as i32;
+    (-128..128).contains(&lo) && (-128..128).contains(&hi)
+}
 
 /// Payload bits FPC assigns to one 32-bit word (excluding the prefix).
 fn fpc_payload_bits(word: u32) -> usize {
@@ -42,12 +49,7 @@ fn fpc_payload_bits(word: u32) -> usize {
     } else if word & 0xFFFF == 0 {
         // Halfword padded with a zero halfword.
         16
-    } else if {
-        let lo = word & 0xFFFF;
-        let hi = word >> 16;
-        (lo as i16 as i32 >= -128 && (lo as i16 as i32) < 128)
-            && (hi as i16 as i32 >= -128 && (hi as i16 as i32) < 128)
-    } {
+    } else if halfwords_are_sign_extended_bytes(word) {
         // Two halfwords, each a sign-extended byte.
         16
     } else if word.to_le_bytes().windows(2).all(|w| w[0] == w[1]) {
@@ -139,7 +141,10 @@ mod tests {
         // Every word identical: the first is uncompressed, the rest hit
         // the FPC-D dictionary.
         let bytes = fpcd_line_bytes(&line);
-        assert!(bytes < LINE_BYTES / 2, "dictionary must catch repeats: {bytes}");
+        assert!(
+            bytes < LINE_BYTES / 2,
+            "dictionary must catch repeats: {bytes}"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..256 {
             for w in 0..16 {
-                data.push(if i % 2 == 0 { 0.0 } else { 1.0 + (i * 16 + w) as f32 });
+                data.push(if i % 2 == 0 {
+                    0.0
+                } else {
+                    1.0 + (i * 16 + w) as f32
+                });
             }
         }
         let r = twotag_ratio(&data);

@@ -275,11 +275,17 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        assert!(logic_latency(64 * 1024, &[2, 3]).table().render().contains("2"));
+        assert!(logic_latency(64 * 1024, &[2, 3])
+            .table()
+            .render()
+            .contains("2"));
         assert!(parallelization(64 * 1024, &[1])
             .table()
             .render()
             .contains("serialized"));
-        assert!(header_mode(16 * 1024, &[0.5]).table().render().contains("true"));
+        assert!(header_mode(16 * 1024, &[0.5])
+            .table()
+            .render()
+            .contains("true"));
     }
 }

@@ -128,7 +128,10 @@ mod tests {
         let r = run(Dataset::oxford_flowers(), &[ModelId::Resnet32], 32);
         assert_eq!(r.rows.len(), 3);
         assert!(r.rows.iter().all(|row| row.epoch_seconds > 0.0));
-        assert_eq!(r.rows[0].steps, Dataset::oxford_flowers().steps_per_epoch(128));
+        assert_eq!(
+            r.rows[0].steps,
+            Dataset::oxford_flowers().steps_per_epoch(128)
+        );
     }
 
     #[test]

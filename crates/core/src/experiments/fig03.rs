@@ -96,7 +96,11 @@ mod tests {
     fn batches_match_paper() {
         let r = run();
         for row in &r.rows {
-            let expect = if row.model == ModelId::Resnet32 { 128 } else { 64 };
+            let expect = if row.model == ModelId::Resnet32 {
+                128
+            } else {
+                64
+            };
             assert_eq!(row.batch, expect, "{}", row.model);
         }
     }

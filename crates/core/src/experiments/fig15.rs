@@ -58,7 +58,9 @@ impl Fig15Result {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 15: ZCOMP vs cache compression (compression ratios)",
-            &["network", "layer", "sparsity", "zcomp", "limitcc", "twotagcc"],
+            &[
+                "network", "layer", "sparsity", "zcomp", "limitcc", "twotagcc",
+            ],
         );
         for s in &self.snapshots {
             t.row([

@@ -74,8 +74,7 @@ impl FullNetRow {
 
     /// Traffic reduction of `scheme` vs the baseline (Fig. 13's metric).
     pub fn traffic_reduction(&self, scheme: Scheme) -> f64 {
-        1.0 - self.cell(scheme).onchip_bytes as f64
-            / self.cell(Scheme::None).onchip_bytes as f64
+        1.0 - self.cell(scheme).onchip_bytes as f64 / self.cell(Scheme::None).onchip_bytes as f64
     }
 
     /// Speedup of `scheme` over the baseline (Fig. 14's metric).
@@ -118,11 +117,7 @@ impl FullNetResult {
     /// Computes the aggregate summary.
     pub fn summary(&self) -> FullNetSummary {
         let sel = |mode: Mode, f: &dyn Fn(&FullNetRow) -> f64| -> Vec<f64> {
-            self.rows
-                .iter()
-                .filter(|r| r.mode == mode)
-                .map(f)
-                .collect()
+            self.rows.iter().filter(|r| r.mode == mode).map(f).collect()
         };
         FullNetSummary {
             zcomp_train_traffic: mean(&sel(Mode::Training, &|r| {
@@ -245,7 +240,10 @@ mod tests {
     fn ten_rows_two_modes() {
         let r = quick();
         assert_eq!(r.rows.len(), 10);
-        assert_eq!(r.rows.iter().filter(|r| r.mode == Mode::Training).count(), 5);
+        assert_eq!(
+            r.rows.iter().filter(|r| r.mode == Mode::Training).count(),
+            5
+        );
     }
 
     #[test]

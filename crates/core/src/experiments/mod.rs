@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod epoch;
+pub mod fault_campaign;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

@@ -55,9 +55,15 @@ impl ThreadSweepResult {
         let mut t = Table::new(
             format!(
                 "Extension: thread scalability ({} MB feature map)",
-                self.elements * 4 >> 20
+                (self.elements * 4) >> 20
             ),
-            &["threads", "avx512-vec", "avx512-comp", "zcomp", "zcomp_scaling"],
+            &[
+                "threads",
+                "avx512-vec",
+                "avx512-comp",
+                "zcomp",
+                "zcomp_scaling",
+            ],
         );
         let threads: Vec<usize> = {
             let mut v: Vec<usize> = self.points.iter().map(|p| p.threads).collect();

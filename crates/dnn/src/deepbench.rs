@@ -69,7 +69,14 @@ impl DeepBenchConfig {
     }
 }
 
-const fn conv(suite: Suite, name: &'static str, n: usize, c: usize, h: usize, w: usize) -> DeepBenchConfig {
+const fn conv(
+    suite: Suite,
+    name: &'static str,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> DeepBenchConfig {
     DeepBenchConfig {
         suite,
         name,
@@ -145,7 +152,10 @@ pub fn all_configs() -> Vec<DeepBenchConfig> {
 }
 
 fn suite_rank(s: Suite) -> usize {
-    Suite::ALL.iter().position(|&x| x == s).expect("known suite")
+    Suite::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("known suite")
 }
 
 /// Configurations of one suite, sorted by size.

@@ -150,9 +150,7 @@ impl Layer {
     pub fn flops(&self) -> u64 {
         let out = self.output.elements() as u64;
         match &self.kind {
-            LayerKind::Conv { kernel, .. } => {
-                2 * out * (self.input.c * kernel * kernel) as u64
-            }
+            LayerKind::Conv { kernel, .. } => 2 * out * (self.input.c * kernel * kernel) as u64,
             LayerKind::Fc { .. } => 2 * out * self.input.per_item_elements() as u64,
             LayerKind::Pool { size, .. } => out * (size * size) as u64,
             LayerKind::Relu | LayerKind::Dropout { .. } | LayerKind::Add => out,
@@ -183,7 +181,10 @@ impl Layer {
 
 fn conv_out(size: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     let padded = size + 2 * pad;
-    assert!(padded >= kernel, "kernel {kernel} larger than input {padded}");
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than input {padded}"
+    );
     (padded - kernel) / stride + 1
 }
 
@@ -194,7 +195,7 @@ fn pool_out(size: usize, window: usize, stride: usize, pad: usize) -> usize {
         "pool window {window} larger than input {padded}"
     );
     // Caffe-style ceil division for pooling.
-    (padded - window + stride - 1) / stride + 1
+    (padded - window).div_ceil(stride) + 1
 }
 
 #[cfg(test)]

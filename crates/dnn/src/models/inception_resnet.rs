@@ -19,10 +19,7 @@ use crate::tensor::TensorShape;
 /// assert!(net.layers.len() > 200, "deep network");
 /// ```
 pub fn inception_resnet_v2(batch: usize) -> Network {
-    let mut b = Network::builder(
-        "inception-resnet-v2",
-        TensorShape::new(batch, 3, 299, 299),
-    );
+    let mut b = Network::builder("inception-resnet-v2", TensorShape::new(batch, 3, 299, 299));
     stem(&mut b);
     mixed_5b(&mut b);
     for i in 1..=10 {
@@ -49,9 +46,7 @@ fn stem(b: &mut NetworkBuilder) {
     b.conv("stem_conv1", 32, 3, 2, 0, true) // 149
         .conv("stem_conv2", 32, 3, 1, 0, true) // 147
         .conv("stem_conv3", 64, 3, 1, 1, true); // 147
-    b.begin_branch()
-        .max_pool("stem_pool1", 3, 2)
-        .end_branch();
+    b.begin_branch().max_pool("stem_pool1", 3, 2).end_branch();
     b.begin_branch()
         .conv("stem_conv4", 96, 3, 2, 0, true)
         .end_branch();
@@ -69,9 +64,7 @@ fn stem(b: &mut NetworkBuilder) {
     b.begin_branch()
         .conv("stem_conv5", 192, 3, 2, 0, true)
         .end_branch();
-    b.begin_branch()
-        .max_pool("stem_pool2", 3, 2)
-        .end_branch();
+    b.begin_branch().max_pool("stem_pool2", 3, 2).end_branch();
     b.merge_concat("stem_concat3"); // 35x35x384
 }
 

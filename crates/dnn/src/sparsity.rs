@@ -96,8 +96,8 @@ impl SparsityModel {
     /// Computes the per-layer profile of `net` at `epoch` (0-based).
     pub fn profile(&self, net: &Network, epoch: usize) -> SparsityProfile {
         let depth = net.layers.len().max(1) as f64;
-        let epoch_scale = 1.0
-            - (1.0 - self.epoch_start_factor) * (-(epoch as f64) / self.epoch_tau).exp();
+        let epoch_scale =
+            1.0 - (1.0 - self.epoch_start_factor) * (-(epoch as f64) / self.epoch_tau).exp();
         let mut rng = SmallRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E37));
         let mut per_layer = Vec::with_capacity(net.layers.len());
         let mut carried: f64 = 0.0;
@@ -168,12 +168,7 @@ impl SparsityModel {
 /// # Panics
 ///
 /// Panics if `sparsity` is outside `[0, 1]` or `mean_run < 1`.
-pub fn generate_activations(
-    elements: usize,
-    sparsity: f64,
-    mean_run: f64,
-    seed: u64,
-) -> Vec<f32> {
+pub fn generate_activations(elements: usize, sparsity: f64, mean_run: f64, seed: u64) -> Vec<f32> {
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
     assert!(mean_run >= 1.0, "mean run length must be >= 1");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -252,10 +247,7 @@ mod tests {
         for &target in &[0.2, 0.53, 0.8] {
             let buf = generate_activations(200_000, target, 6.0, 42);
             let got = measured_sparsity(&buf);
-            assert!(
-                (got - target).abs() < 0.03,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < 0.03, "target {target} got {got}");
         }
     }
 

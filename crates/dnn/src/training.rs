@@ -96,7 +96,11 @@ mod tests {
     fn training_feature_maps_dominate() {
         // §2.3 / Fig. 3: cross-layer feature maps account for the majority
         // of the training memory footprint.
-        for id in [ModelId::Vgg16, ModelId::Googlenet, ModelId::InceptionResnetV2] {
+        for id in [
+            ModelId::Vgg16,
+            ModelId::Googlenet,
+            ModelId::InceptionResnetV2,
+        ] {
             let net = id.build(id.training_batch());
             let fp = training_footprint(&net);
             assert!(

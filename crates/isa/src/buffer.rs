@@ -25,7 +25,7 @@ pub fn compress_bytes(
     cond: CompareCond,
     mode: HeaderMode,
 ) -> Result<CompressedStream, ZcompError> {
-    if data.len() % VECTOR_BYTES != 0 {
+    if !data.len().is_multiple_of(VECTOR_BYTES) {
         return Err(ZcompError::PartialVector {
             len: data.len() / ty.size_bytes(),
             lanes: ty.lanes(),
@@ -35,8 +35,9 @@ pub fn compress_bytes(
     for chunk in data.chunks_exact(VECTOR_BYTES) {
         let mut v = Vec512::ZERO;
         v.as_bytes_mut().copy_from_slice(chunk);
-        w.write_vector(&v, cond)
-            .expect("unbounded writer cannot overflow");
+        // The writer is unbounded so this cannot overflow, but forward the
+        // typed error rather than panicking on a fallible stream operation.
+        w.write_vector(&v, cond)?;
     }
     Ok(w.finish())
 }
@@ -80,9 +81,13 @@ mod tests {
             .map(|i| if i % 3 == 0 { 0.0 } else { i as f64 * 1.5 })
             .collect();
         let data = f64_buffer(&values);
-        let stream =
-            compress_bytes(&data, ElemType::F64, CompareCond::Eqz, HeaderMode::Interleaved)
-                .expect("whole vectors");
+        let stream = compress_bytes(
+            &data,
+            ElemType::F64,
+            CompareCond::Eqz,
+            HeaderMode::Interleaved,
+        )
+        .expect("whole vectors");
         assert_eq!(expand_bytes(&stream).expect("roundtrip"), data);
         // 6 zeros of 8 bytes compressed away, 2 x 1-byte headers added.
         assert_eq!(stream.compressed_bytes(), 128 - 6 * 8 + 2);
@@ -107,9 +112,13 @@ mod tests {
     #[test]
     fn f16_all_zero_hits_max_ratio() {
         let data = vec![0u8; 256]; // 4 vectors of 32 fp16 lanes
-        let stream =
-            compress_bytes(&data, ElemType::F16, CompareCond::Eqz, HeaderMode::Interleaved)
-                .expect("whole vectors");
+        let stream = compress_bytes(
+            &data,
+            ElemType::F16,
+            CompareCond::Eqz,
+            HeaderMode::Interleaved,
+        )
+        .expect("whole vectors");
         // Each vector: 4-byte header only -> ratio 16.
         assert!((stream.compression_ratio() - 16.0).abs() < 1e-12);
     }
@@ -125,8 +134,13 @@ mod tests {
 
     #[test]
     fn partial_buffer_is_rejected() {
-        let err = compress_bytes(&[0u8; 65], ElemType::F32, CompareCond::Eqz, HeaderMode::Interleaved)
-            .unwrap_err();
+        let err = compress_bytes(
+            &[0u8; 65],
+            ElemType::F32,
+            CompareCond::Eqz,
+            HeaderMode::Interleaved,
+        )
+        .unwrap_err();
         assert!(matches!(err, ZcompError::PartialVector { .. }));
     }
 
@@ -134,9 +148,13 @@ mod tests {
     fn i32_roundtrip() {
         let values: Vec<i32> = (-8..8).collect();
         let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let stream =
-            compress_bytes(&data, ElemType::I32, CompareCond::Eqz, HeaderMode::Interleaved)
-                .expect("one vector");
+        let stream = compress_bytes(
+            &data,
+            ElemType::I32,
+            CompareCond::Eqz,
+            HeaderMode::Interleaved,
+        )
+        .expect("one vector");
         assert_eq!(expand_bytes(&stream).expect("roundtrip"), data);
         // One zero lane compressed: 2-byte header + 15 * 4 bytes.
         assert_eq!(stream.compressed_bytes(), 62);

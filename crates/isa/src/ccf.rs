@@ -75,7 +75,7 @@ impl CompareCond {
                     let x = f64::from_le_bytes(b.try_into().expect("8-byte lane"));
                     match self {
                         CompareCond::Eqz => x != 0.0,
-                        CompareCond::Ltez => !(x <= 0.0),
+                        CompareCond::Ltez => x > 0.0 || x.is_nan(),
                     }
                 }
                 ElemType::F16 => {

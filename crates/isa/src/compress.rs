@@ -87,7 +87,7 @@ pub fn compress_f32_with(
     mode: HeaderMode,
 ) -> Result<CompressedStream, ZcompError> {
     let lanes = ElemType::F32.lanes();
-    if data.len() % lanes != 0 {
+    if !data.len().is_multiple_of(lanes) {
         return Err(ZcompError::PartialVector {
             len: data.len(),
             lanes,
@@ -96,8 +96,9 @@ pub fn compress_f32_with(
     let mut w = CompressedWriter::new(ElemType::F32, mode);
     for chunk in data.chunks_exact(lanes) {
         let v = Vec512::from_f32_lanes(chunk);
-        w.write_vector(&v, cond)
-            .expect("unbounded writer cannot overflow");
+        // The writer is unbounded so this cannot overflow, but forward the
+        // typed error rather than panicking on a fallible stream operation.
+        w.write_vector(&v, cond)?;
     }
     Ok(w.finish())
 }
@@ -167,13 +168,7 @@ mod tests {
     #[test]
     fn partial_vector_is_rejected() {
         let err = compress_f32(&[1.0; 17], CompareCond::Eqz).unwrap_err();
-        assert_eq!(
-            err,
-            ZcompError::PartialVector {
-                len: 17,
-                lanes: 16
-            }
-        );
+        assert_eq!(err, ZcompError::PartialVector { len: 17, lanes: 16 });
     }
 
     #[test]

@@ -73,11 +73,7 @@ pub fn disasm(instr: &Instr) -> String {
 
 /// Formats a sequence of instructions, one per line.
 pub fn disasm_block(instrs: &[Instr]) -> String {
-    instrs
-        .iter()
-        .map(disasm)
-        .collect::<Vec<_>>()
-        .join("\n")
+    instrs.iter().map(disasm).collect::<Vec<_>>().join("\n")
 }
 
 /// Dumps the per-vector structure of a compressed stream: offset, header
@@ -162,10 +158,7 @@ mod tests {
             header_addr: Some(0x8000),
             header_bytes: 2,
         };
-        assert_eq!(
-            disasm(&i),
-            "zcompl zmm, [0x2000], [0x8000]  ; 24 bytes"
-        );
+        assert_eq!(disasm(&i), "zcompl zmm, [0x2000], [0x8000]  ; 24 bytes");
     }
 
     #[test]

@@ -5,7 +5,12 @@
 /// In hardware these conditions surface as memory protection violations
 /// (§4.1 discusses when an interleaved stream can overflow its original
 /// allocation); the functional model reports them as typed errors instead.
+///
+/// The enum is `#[non_exhaustive]`: corruption-detection variants were added
+/// after the initial API and more may follow, so downstream matches must
+/// carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ZcompError {
     /// Writing the compressed stream would exceed the destination buffer.
     ///
@@ -45,6 +50,38 @@ pub enum ZcompError {
         /// Elements the destination can hold.
         available: usize,
     },
+    /// A per-vector header is inconsistent with the stream bounds: its
+    /// keep-mask declares a packed payload that runs past the end of the
+    /// data region. The in-band header is ZCOMP's only length metadata, so
+    /// this is the signature of a corrupted (bit-flipped) header.
+    CorruptHeader {
+        /// Index of the vector whose header failed the bounds check.
+        vector: usize,
+        /// Byte offset of that header within its region (the data region
+        /// for interleaved streams, the header store for separate ones).
+        offset: usize,
+    },
+    /// The stream walk completed but does not reconcile with the stream's
+    /// recorded geometry: leftover or missing region bytes, or a
+    /// header-popcount sum that disagrees with the element count. A single
+    /// flipped header bit desynchronizes every subsequent vector; this
+    /// variant reports that the desynchronization was detected.
+    Desynchronized {
+        /// Number of vectors decoded before the mismatch was established.
+        vector: usize,
+        /// Region byte offset at which the walk ended.
+        offset: usize,
+    },
+    /// The stream's contents no longer match its checksum sidecar
+    /// ([`StreamChecksum`](crate::integrity::StreamChecksum)) — corruption
+    /// that length reconciliation alone cannot see (for example a payload
+    /// bit flip, or compensating multi-bit header flips).
+    ChecksumMismatch {
+        /// Checksum recorded when the stream was written.
+        expected: u32,
+        /// Checksum of the stream as it is now.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for ZcompError {
@@ -68,6 +105,18 @@ impl std::fmt::Display for ZcompError {
             ZcompError::DestinationTooSmall { needed, available } => write!(
                 f,
                 "expansion destination too small: needed {needed} elements, {available} available"
+            ),
+            ZcompError::CorruptHeader { vector, offset } => write!(
+                f,
+                "corrupt header for vector {vector} at region offset {offset}: declared payload exceeds the data region"
+            ),
+            ZcompError::Desynchronized { vector, offset } => write!(
+                f,
+                "stream desynchronized after {vector} vectors: walk ended at region offset {offset} but does not reconcile with the stream geometry"
+            ),
+            ZcompError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "stream checksum mismatch: sidecar records {expected:#010x}, contents hash to {actual:#010x}"
             ),
         }
     }

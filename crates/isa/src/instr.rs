@@ -280,7 +280,8 @@ impl Instr {
             // zcompl: header load feeds the logic which feeds the data
             // load — the sequentially-dependent chain of §3.3.
             Instr::ZcompL { .. } => {
-                table.latency(UopKind::Load) + table.latency(UopKind::ZcompLogic)
+                table.latency(UopKind::Load)
+                    + table.latency(UopKind::ZcompLogic)
                     + table.latency(UopKind::Load)
             }
             Instr::LoopOverhead => table.latency(UopKind::ScalarAlu),

@@ -263,7 +263,11 @@ mod tests {
         for i in 0..n {
             mem.store_f32(
                 x_base + i as u64 * 4,
-                if i % 2 == 0 { -(i as f32) - 1.0 } else { i as f32 },
+                if i % 2 == 0 {
+                    -(i as f32) - 1.0
+                } else {
+                    i as f32
+                },
             );
         }
         // Fig. 8: zcomps _LTEZ loop.
@@ -284,7 +288,11 @@ mod tests {
                 assert_eq!(tvec.f32_lane(lane), expect);
             }
         }
-        assert_eq!(read_ptr.addr(), compressed_end, "reader consumed the stream");
+        assert_eq!(
+            read_ptr.addr(),
+            compressed_end,
+            "reader consumed the stream"
+        );
     }
 
     #[test]

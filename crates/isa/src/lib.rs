@@ -52,6 +52,7 @@ pub mod dtype;
 pub mod error;
 pub mod header;
 pub mod instr;
+pub mod integrity;
 pub mod intrinsics;
 pub mod mask;
 pub mod stream;
@@ -64,6 +65,7 @@ pub use dtype::ElemType;
 pub use error::ZcompError;
 pub use header::Header;
 pub use instr::{AccessKind, Instr, MemAccess};
+pub use integrity::{desync_impact, CorruptionSite, DesyncImpact, StreamChecksum, StreamRegion};
 pub use mask::LaneMask;
 pub use stream::{CompressedReader, CompressedStream, CompressedWriter, HeaderMode};
 pub use uops::{Uop, UopCounts, UopKind, UopTable};

@@ -135,27 +135,119 @@ impl CompressedStream {
         }
     }
 
-    /// Validates the structural integrity of the stream: every header and
-    /// packed-lane group must be present, and the regions must contain no
-    /// trailing garbage.
+    /// Validates the structural integrity of the stream without decoding
+    /// lane data: every header must be readable, every declared payload
+    /// must lie inside the data region, and at the end of the walk the
+    /// regions and the header-popcount sum must reconcile exactly with the
+    /// recorded geometry (`vectors`, `total_nnz`, region lengths).
+    ///
+    /// This is the software analogue of the integrity check a hardware
+    /// `zcompl` prefetcher could perform: it costs a header walk, not a
+    /// full expansion. It detects every corruption that changes the
+    /// stream's length chain — in particular, every single-bit header flip
+    /// in [`HeaderMode::Separate`] mode, where header positions are fixed
+    /// and a popcount change always breaks length reconciliation. In
+    /// [`HeaderMode::Interleaved`] mode a flipped header shifts where
+    /// subsequent headers are read from, and the garbage walk can in rare
+    /// cases re-reconcile coincidentally; pair with a
+    /// [`StreamChecksum`](crate::integrity::StreamChecksum) sidecar for
+    /// guaranteed detection.
     ///
     /// # Errors
     ///
-    /// Returns [`ZcompError::Truncated`] if the stream ends inside a
-    /// vector, or with the offset of the first trailing byte if the
-    /// regions are longer than the encoded vectors require.
+    /// * [`ZcompError::Truncated`] — a header read would cross the end of
+    ///   its region (the stream ends inside a vector).
+    /// * [`ZcompError::CorruptHeader`] — a header declares a packed
+    ///   payload that runs past the end of the data region.
+    /// * [`ZcompError::Desynchronized`] — the walk completes but leaves
+    ///   trailing bytes, consumes a region short, or produces a popcount
+    ///   sum that disagrees with the recorded element count.
     pub fn validate(&self) -> Result<(), ZcompError> {
-        let mut r = self.reader();
-        while r.read_vector()?.is_some() {}
-        if r.data_pos != self.data.len() {
-            return Err(ZcompError::Truncated { offset: r.data_pos });
+        let ty = self.ty;
+        let hb = ty.header_bytes();
+        let es = ty.size_bytes();
+        let mut data_pos = 0usize;
+        let mut header_pos = 0usize;
+        let mut nnz_sum = 0u64;
+        for vector in 0..self.vectors {
+            let header = match self.mode {
+                HeaderMode::Interleaved => {
+                    if data_pos + hb > self.data.len() {
+                        return Err(ZcompError::Truncated { offset: data_pos });
+                    }
+                    let h = Header::read_from(ty, &self.data[data_pos..data_pos + hb]);
+                    data_pos += hb;
+                    h
+                }
+                HeaderMode::Separate => {
+                    if header_pos + hb > self.headers.len() {
+                        return Err(ZcompError::Truncated { offset: header_pos });
+                    }
+                    let h = Header::read_from(ty, &self.headers[header_pos..header_pos + hb]);
+                    header_pos += hb;
+                    h
+                }
+            };
+            let payload = header.nnz() as usize * es;
+            if data_pos + payload > self.data.len() {
+                let header_start = match self.mode {
+                    HeaderMode::Interleaved => data_pos - hb,
+                    HeaderMode::Separate => header_pos - hb,
+                };
+                return Err(ZcompError::CorruptHeader {
+                    vector,
+                    offset: header_start,
+                });
+            }
+            nnz_sum += u64::from(header.nnz());
+            data_pos += payload;
         }
-        if r.header_pos != self.headers.len() {
-            return Err(ZcompError::Truncated {
-                offset: r.header_pos,
+        if data_pos != self.data.len() {
+            return Err(ZcompError::Desynchronized {
+                vector: self.vectors,
+                offset: data_pos,
+            });
+        }
+        if header_pos != self.headers.len() {
+            return Err(ZcompError::Desynchronized {
+                vector: self.vectors,
+                offset: header_pos,
+            });
+        }
+        if nnz_sum != self.total_nnz {
+            return Err(ZcompError::Desynchronized {
+                vector: self.vectors,
+                offset: data_pos,
             });
         }
         Ok(())
+    }
+
+    /// Flips one bit of the stream in place: `region`/`byte` select the
+    /// byte, `bit` (taken modulo 8) selects the bit within it.
+    ///
+    /// This is the fault-injection entry point: the simulator reports
+    /// corruption events as (region, byte, bit) triples and the kernel
+    /// layer applies them here so that faults land in the actual modeled
+    /// stream bytes. Returns `false` (stream unchanged) when `byte` is out
+    /// of range for the region.
+    pub fn flip_bit(
+        &mut self,
+        region: crate::integrity::StreamRegion,
+        byte: usize,
+        bit: u8,
+    ) -> bool {
+        let target = match region {
+            crate::integrity::StreamRegion::Data => self.data.get_mut(byte),
+            crate::integrity::StreamRegion::Headers => self.headers.get_mut(byte),
+        };
+        match target {
+            Some(b) => {
+                *b ^= 1 << (bit & 7);
+                true
+            }
+            None => false,
+        }
     }
 }
 

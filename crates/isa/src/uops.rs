@@ -171,8 +171,8 @@ impl UopTable {
     /// memory kinds; cache misses add on top in the memory model).
     pub fn latency(&self, kind: UopKind) -> u32 {
         match kind {
-            UopKind::VecAlu => 4,      // vcmpps / vmaxps on SKX
-            UopKind::VecShuffle => 3,  // vcompressps / vexpandps lane network
+            UopKind::VecAlu => 4,     // vcmpps / vmaxps on SKX
+            UopKind::VecShuffle => 3, // vcompressps / vexpandps lane network
             UopKind::ScalarAlu => 1,
             UopKind::Popcnt => 3,
             UopKind::Load => 4,  // L1-D hit

@@ -10,7 +10,11 @@
 //!   feature maps.
 //! * [`layer_exec`] / [`network_exec`] — bulk layer streaming and
 //!   end-to-end network execution (forward + backward) with optional
-//!   cross-layer compression.
+//!   cross-layer compression and a retry-then-fallback degradation
+//!   policy under fault injection.
+//! * [`degrade`] — data-faithful single-layer fault handling: real
+//!   compressed streams, injected bit flips, validation, retry, and the
+//!   bit-exact uncompressed fallback.
 //!
 //! # Example
 //!
@@ -27,6 +31,7 @@
 //! assert!(result.compression_ratio() > 1.0);
 //! ```
 
+pub mod degrade;
 pub mod layer_exec;
 pub mod network_exec;
 pub mod nnz;
@@ -34,7 +39,10 @@ pub mod partition;
 pub mod relu;
 pub mod relu_interval;
 
-pub use layer_exec::Scheme;
-pub use network_exec::{run_network, NetworkExecOpts, NetworkRunResult};
+pub use degrade::{run_layer_faulted, DegradeOpts, FaultyLayerReport, LayerOutcome};
+pub use layer_exec::{DegradeSummary, Scheme};
+pub use network_exec::{
+    run_network, run_network_faulted, FaultedNetworkRunResult, NetworkExecOpts, NetworkRunResult,
+};
 pub use partition::{partition, Chunk, Parallelization};
 pub use relu::{run_relu, ReluOpts, ReluRunResult, ReluScheme};

@@ -66,7 +66,12 @@ pub fn nnz_synthetic(elements: usize, sparsity: f64, mean_run: f64, seed: u64) -
         } else {
             n
         };
-        let data = generate_activations(n, sparsity, mean_run, seed ^ chunk_idx.wrapping_mul(0xABCD_1234));
+        let data = generate_activations(
+            n,
+            sparsity,
+            mean_run,
+            seed ^ chunk_idx.wrapping_mul(0xABCD_1234),
+        );
         out.extend(nnz_from_data(&data, CompareCond::Eqz));
         produced += n;
         chunk_idx += 1;

@@ -174,8 +174,7 @@ pub fn run_relu(
         }
         for c in &chunks {
             if !c.is_empty() {
-                machine
-                    .charge_compute(c.thread, opts.launch_overhead + setup_cost(scheme, opts));
+                machine.charge_compute(c.thread, opts.launch_overhead + setup_cost(scheme, opts));
             }
         }
         let store_phase = machine.end_phase(mode);
@@ -197,10 +196,8 @@ pub fn run_relu(
             }
             for c in &chunks {
                 if !c.is_empty() {
-                    machine.charge_compute(
-                        c.thread,
-                        opts.launch_overhead + setup_cost(scheme, opts),
-                    );
+                    machine
+                        .charge_compute(c.thread, opts.launch_overhead + setup_cost(scheme, opts));
                 }
             }
             Some(machine.end_phase(mode))
@@ -218,8 +215,7 @@ pub fn run_relu(
     let mut last = None;
     for _ in 0..opts.iterations.max(1) {
         let (store, load, bytes) = run_iteration(machine);
-        measured_cycles +=
-            store.wall_cycles + load.as_ref().map_or(0.0, |p| p.wall_cycles);
+        measured_cycles += store.wall_cycles + load.as_ref().map_or(0.0, |p| p.wall_cycles);
         last = Some((store, load, bytes));
     }
     let (store_phase, load_phase, mut output_bytes) =
@@ -343,7 +339,7 @@ impl ThreadCursor {
                 u64::from(nnz) * 4 + 2
             }
         };
-        if step % opts.unroll.max(1) == 0 {
+        if step.is_multiple_of(opts.unroll.max(1)) {
             machine.exec(t, &Instr::LoopOverhead);
         }
         written
@@ -408,7 +404,7 @@ impl ThreadCursor {
         // Figs. 9/11: "use the retrieved input tvec" — the consumer
         // performs one vector op on the expanded data in every scheme.
         machine.exec(t, &Instr::VMaxPs);
-        if step % opts.unroll.max(1) == 0 {
+        if step.is_multiple_of(opts.unroll.max(1)) {
             machine.exec(t, &Instr::LoopOverhead);
         }
     }

@@ -81,14 +81,8 @@ pub fn run_relu_interval(
                 }
                 let n = u32::from(nnz[chunk.start / LANES + step]);
                 instr_buf.clear();
-                let loop_carried = build_iteration(
-                    scheme,
-                    opts,
-                    pass,
-                    n,
-                    &mut cursors[ci],
-                    &mut instr_buf,
-                );
+                let loop_carried =
+                    build_iteration(scheme, opts, pass, n, &mut cursors[ci], &mut instr_buf);
                 // Collect the iteration's uops, chain latency and memory
                 // outcome, then advance this thread's interval model.
                 let mut uops = UopCounts::new();
@@ -117,8 +111,7 @@ pub fn run_relu_interval(
     }
     let thread_cycles: Vec<f64> = models.iter().map(IntervalModel::now).collect();
     let slowest = thread_cycles.iter().copied().fold(0.0, f64::max);
-    let dram_bound =
-        mem.traffic().dram_bytes as f64 / cfg.dram.bytes_per_cycle(cfg.clock_hz);
+    let dram_bound = mem.traffic().dram_bytes as f64 / cfg.dram.bytes_per_cycle(cfg.clock_hz);
     IntervalRunResult {
         wall_cycles: slowest.max(dram_bound),
         thread_cycles,

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CacheConfig, Replacement, LINE_BYTES};
+use crate::faults::{FaultEvent, FaultProbe};
 use crate::stats::CacheStats;
 
 /// Sentinel for an invalid way.
@@ -63,6 +64,8 @@ pub struct CacheArray {
     prefetched: Vec<bool>,
     lru_clock: u32,
     stats: CacheStats,
+    /// Optional fault source rolled on every demand access.
+    fault_probe: Option<FaultProbe>,
 }
 
 impl CacheArray {
@@ -87,6 +90,25 @@ impl CacheArray {
             prefetched: vec![false; lines],
             lru_clock: 0,
             stats: CacheStats::default(),
+            fault_probe: None,
+        }
+    }
+
+    /// Attaches a fault probe: from now on every demand access rolls one
+    /// injection trial against the accessed line.
+    pub fn attach_fault_probe(&mut self, probe: FaultProbe) {
+        self.fault_probe = Some(probe);
+    }
+
+    /// Faults injected by this array's probe so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_probe.as_ref().map_or(0, FaultProbe::injected)
+    }
+
+    /// Moves this array's pending fault events into `out`.
+    pub fn drain_faults(&mut self, out: &mut Vec<FaultEvent>) {
+        if let Some(p) = &mut self.fault_probe {
+            p.drain_into(out);
         }
     }
 
@@ -127,6 +149,14 @@ impl CacheArray {
     ///   the line as prefetched (SRRIP inserts prefetches at distant
     ///   re-reference to limit pollution).
     pub fn access(&mut self, addr: u64, is_write: bool, is_prefetch: bool) -> AccessOutcome {
+        // Fault injection observes demand accesses only: a flip matters
+        // when the core consumes the line, and prefetched lines are rolled
+        // at their first demand rather than at fill time.
+        if !is_prefetch {
+            if let Some(p) = &mut self.fault_probe {
+                p.observe(addr);
+            }
+        }
         let (set, line) = self.index(addr);
         let base = set * self.cfg.ways;
         let ways = self.cfg.ways;

@@ -47,7 +47,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.capacity_bytes / LINE_BYTES;
         assert!(
-            lines % self.ways == 0,
+            lines.is_multiple_of(self.ways),
             "cache capacity must divide into whole sets"
         );
         lines / self.ways

@@ -90,7 +90,8 @@ impl RooflineModel {
         let from_l2 = f64::from(a.lines_from(ServedBy::L2))
             + f64::from(a.lines_from(ServedBy::L3))
             + f64::from(a.lines_from(ServedBy::Dram));
-        let from_l3 = f64::from(a.lines_from(ServedBy::L3)) + f64::from(a.lines_from(ServedBy::Dram));
+        let from_l3 =
+            f64::from(a.lines_from(ServedBy::L3)) + f64::from(a.lines_from(ServedBy::Dram));
         let l2 = from_l2 * 64.0 / self.cfg.l2_bw_bytes_per_cycle;
         let l3 = from_l3 * 64.0 / self.cfg.l3_bw_bytes_per_cycle_per_core;
         l2.max(l3)
@@ -110,8 +111,7 @@ impl RooflineModel {
     pub fn time_phase(&self, threads: &[ThreadAccounting], phase_dram_bytes: u64) -> PhaseTiming {
         let per_thread: Vec<f64> = threads.iter().map(|t| self.thread_cycles(t)).collect();
         let slowest = per_thread.iter().copied().fold(0.0, f64::max);
-        let dram_bound =
-            phase_dram_bytes as f64 / self.cfg.dram.bytes_per_cycle(self.cfg.clock_hz);
+        let dram_bound = phase_dram_bytes as f64 / self.cfg.dram.bytes_per_cycle(self.cfg.clock_hz);
         let wall = slowest.max(dram_bound);
 
         let mut breakdown = CycleBreakdown::default();
@@ -192,11 +192,7 @@ impl IntervalModel {
     /// Waits for all outstanding misses to complete (call at the end of a
     /// kernel to account for the drain tail).
     pub fn drain(&mut self) {
-        let last = self
-            .mshr_free_at
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let last = self.mshr_free_at.iter().copied().fold(0.0f64, f64::max);
         if last > self.now {
             self.total_mem_stall += last - self.now;
             self.now = last;

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::{DramConfig, LINE_BYTES};
+use crate::faults::{FaultEvent, FaultProbe};
 
 /// Row-buffer statistics of the detailed bank model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,7 +35,7 @@ impl RowBufferStats {
 }
 
 /// Per-channel and aggregate DRAM accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DramModel {
     cfg: DramConfig,
     clock_hz: f64,
@@ -42,6 +43,8 @@ pub struct DramModel {
     /// Open row per (channel, bank), when `detailed_banks` is on.
     open_rows: Vec<Option<u64>>,
     row_stats: RowBufferStats,
+    /// Optional fault source rolled once per 64-byte burst transferred.
+    fault_probe: Option<FaultProbe>,
 }
 
 impl DramModel {
@@ -54,6 +57,25 @@ impl DramModel {
             channel_bytes: vec![0; cfg.channels],
             open_rows: vec![None; cfg.channels * cfg.banks_per_channel.max(1)],
             row_stats: RowBufferStats::default(),
+            fault_probe: None,
+        }
+    }
+
+    /// Attaches a fault probe: every recorded 64-byte burst rolls one
+    /// injection trial.
+    pub fn attach_fault_probe(&mut self, probe: FaultProbe) {
+        self.fault_probe = Some(probe);
+    }
+
+    /// Faults injected by this model's probe so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_probe.as_ref().map_or(0, FaultProbe::injected)
+    }
+
+    /// Moves this model's pending fault events into `out`.
+    pub fn drain_faults(&mut self, out: &mut Vec<FaultEvent>) {
+        if let Some(p) = &mut self.fault_probe {
+            p.drain_into(out);
         }
     }
 
@@ -77,6 +99,13 @@ impl DramModel {
     pub fn record_transfer(&mut self, addr: u64, bytes: u64) -> u32 {
         let ch = self.channel_of(addr);
         self.channel_bytes[ch] += bytes;
+        if let Some(p) = &mut self.fault_probe {
+            // One trial per 64-byte burst of the transfer.
+            let bursts = bytes.div_ceil(LINE_BYTES as u64).max(1);
+            for i in 0..bursts {
+                p.observe(addr + i * LINE_BYTES as u64);
+            }
+        }
         if !self.cfg.detailed_banks {
             return self.cfg.base_latency;
         }

@@ -14,8 +14,9 @@ use zcomp_isa::uops::UopTable;
 
 use crate::config::SimConfig;
 use crate::core::{RooflineModel, ThreadAccounting};
+use crate::faults::{FaultConfig, FaultEvent, FaultSite};
 use crate::hierarchy::MemorySystem;
-use crate::stats::{CacheStats, CycleBreakdown, PrefetchStats, TrafficStats};
+use crate::stats::{CacheStats, CycleBreakdown, FaultStats, PrefetchStats, TrafficStats};
 
 /// How the threads of a phase were scheduled (Fig. 7 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,6 +136,27 @@ impl Machine {
         self.threads.len()
     }
 
+    /// Arms fault injection across the memory hierarchy (see
+    /// [`MemorySystem::attach_faults`]).
+    pub fn attach_faults(&mut self, faults: &FaultConfig) {
+        self.mem.attach_faults(faults);
+    }
+
+    /// Drains pending fault events from every component (fixed order).
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.mem.drain_fault_events()
+    }
+
+    /// Reports one detected fault back to the per-site counters.
+    pub fn record_fault_detection(&mut self, site: FaultSite) {
+        self.mem.record_fault_detection(site);
+    }
+
+    /// Per-site fault injection/detection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.mem.fault_stats()
+    }
+
     /// Executes one instruction on `thread`'s core.
     ///
     /// # Panics
@@ -218,8 +240,7 @@ impl Machine {
         // prefetch line movement alike must fit through the L2 ports and
         // the shared L3.
         let l2_bound = l2_fill as f64 / (cfg.l2_bw_bytes_per_cycle * active as f64);
-        let l3_bound =
-            l3_fill as f64 / (cfg.l3_bw_bytes_per_cycle_per_core * active as f64);
+        let l3_bound = l3_fill as f64 / (cfg.l3_bw_bytes_per_cycle_per_core * active as f64);
         let mem_bound = dram_bound.max(l2_bound).max(l3_bound);
 
         let wall = match mode {

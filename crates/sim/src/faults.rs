@@ -1,0 +1,344 @@
+//! Transient-fault injection for the memory system.
+//!
+//! The simulator is trace-driven and tag-only — caches carry no data — so
+//! a fault here is an *event*, not a mutated byte: a probe attached to a
+//! component rolls a per-access Bernoulli trial and, on success, emits a
+//! [`FaultEvent`] naming the line address, byte and bit that flipped. The
+//! kernel layer (which owns the actual [`CompressedStream`] bytes behind
+//! those addresses) drains the events and applies the flips to real modeled
+//! data, so detection and degradation are exercised end to end.
+//!
+//! Determinism: every probe owns its own [`SmallRng`] stream, derived from
+//! the campaign master seed, the site tag and the component instance
+//! (core index). Replays with the same seed, configuration and trace are
+//! bit-for-bit identical regardless of how other probes are configured.
+//!
+//! [`CompressedStream`]: zcomp_isa::stream::CompressedStream
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::LINE_BYTES;
+
+/// Where in the memory system a fault strikes.
+///
+/// Cache-line and DRAM-burst faults are *persistent*: the corrupted value
+/// sits in the array and a retry re-reads the same bad bytes. NoC-flit
+/// faults are *transient*: the flip happened in flight, so a retried
+/// transfer sees clean data. The kernel layer's retry-then-fallback policy
+/// keys off this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// A line in a private L1-D array.
+    L1Line = 0,
+    /// A line in a private L2 array.
+    L2Line = 1,
+    /// A line in the shared L3.
+    L3Line = 2,
+    /// A DDR4 burst on its way through a channel.
+    DramBurst = 3,
+    /// A flit crossing the 2D mesh.
+    NocFlit = 4,
+}
+
+impl FaultSite {
+    /// Number of sites.
+    pub const COUNT: usize = 5;
+
+    /// Every site, in discriminant order.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
+        FaultSite::L1Line,
+        FaultSite::L2Line,
+        FaultSite::L3Line,
+        FaultSite::DramBurst,
+        FaultSite::NocFlit,
+    ];
+
+    /// Whether a fault at this site vanishes on retry (in-flight flip)
+    /// rather than persisting in an array.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultSite::NocFlit)
+    }
+
+    /// Short stable name used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::L1Line => "l1_line",
+            FaultSite::L2Line => "l2_line",
+            FaultSite::L3Line => "l3_line",
+            FaultSite::DramBurst => "dram_burst",
+            FaultSite::NocFlit => "noc_flit",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fault-injection campaign configuration: a master seed plus one
+/// per-access bit-flip probability per site. A rate of zero disables the
+/// site entirely (no probe is attached, no RNG stream is consumed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master seed all probe streams derive from.
+    pub seed: u64,
+    /// Per-demand-access flip probability in the L1 arrays.
+    pub l1_line: f64,
+    /// Per-demand-access flip probability in the L2 arrays.
+    pub l2_line: f64,
+    /// Per-demand-access flip probability in the shared L3.
+    pub l3_line: f64,
+    /// Per-burst flip probability on the DRAM channels.
+    pub dram_burst: f64,
+    /// Per-L3-round-trip flip probability on the mesh.
+    pub noc_flit: f64,
+}
+
+impl FaultConfig {
+    /// All sites disabled.
+    pub fn off(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            l1_line: 0.0,
+            l2_line: 0.0,
+            l3_line: 0.0,
+            dram_burst: 0.0,
+            noc_flit: 0.0,
+        }
+    }
+
+    /// The same rate at every site.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            l1_line: rate,
+            l2_line: rate,
+            l3_line: rate,
+            dram_burst: rate,
+            noc_flit: rate,
+        }
+    }
+
+    /// Rate for one site.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::L1Line => self.l1_line,
+            FaultSite::L2Line => self.l2_line,
+            FaultSite::L3Line => self.l3_line,
+            FaultSite::DramBurst => self.dram_burst,
+            FaultSite::NocFlit => self.noc_flit,
+        }
+    }
+
+    /// Returns a copy with `site`'s rate replaced.
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        match site {
+            FaultSite::L1Line => self.l1_line = rate,
+            FaultSite::L2Line => self.l2_line = rate,
+            FaultSite::L3Line => self.l3_line = rate,
+            FaultSite::DramBurst => self.dram_burst = rate,
+            FaultSite::NocFlit => self.noc_flit = rate,
+        }
+        self
+    }
+
+    /// Whether any site has a non-zero rate.
+    pub fn any_enabled(&self) -> bool {
+        FaultSite::ALL.iter().any(|&s| self.rate(s) > 0.0)
+    }
+}
+
+/// One injected bit flip, addressed at memory (not stream) granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Site the flip occurred at.
+    pub site: FaultSite,
+    /// Line-aligned byte address of the affected cache line.
+    pub line_addr: u64,
+    /// Byte within the line (0..64).
+    pub byte_in_line: u8,
+    /// Bit within the byte (0..8).
+    pub bit: u8,
+}
+
+impl FaultEvent {
+    /// Absolute byte address of the flipped byte.
+    pub fn addr(&self) -> u64 {
+        self.line_addr + u64::from(self.byte_in_line)
+    }
+}
+
+/// A per-component fault source: one Bernoulli trial per observed access,
+/// with its own deterministic RNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    site: FaultSite,
+    rate: f64,
+    rng: SmallRng,
+    injected: u64,
+    pending: Vec<FaultEvent>,
+}
+
+impl FaultProbe {
+    /// Builds the probe for one component instance (`instance` is the core
+    /// index for private caches, 0 for shared components).
+    pub fn new(cfg: &FaultConfig, site: FaultSite, instance: u64) -> Self {
+        FaultProbe {
+            site,
+            rate: cfg.rate(site),
+            rng: SmallRng::seed_from_u64(stream_seed(cfg.seed, site, instance)),
+            injected: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The site this probe injects at.
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Rolls one trial for an access touching `addr` (any byte address;
+    /// the event is recorded against its line). No RNG state is consumed
+    /// when the site's rate is zero.
+    pub fn observe(&mut self, addr: u64) {
+        if self.rate <= 0.0 {
+            return;
+        }
+        if self.rng.gen_bool(self.rate) {
+            let line_addr = addr / LINE_BYTES as u64 * LINE_BYTES as u64;
+            let byte_in_line = self.rng.gen_range(0..LINE_BYTES as u32) as u8;
+            let bit = self.rng.gen_range(0..8u32) as u8;
+            self.pending.push(FaultEvent {
+                site: self.site,
+                line_addr,
+                byte_in_line,
+                bit,
+            });
+            self.injected += 1;
+        }
+    }
+
+    /// Moves all pending events into `out`, oldest first.
+    pub fn drain_into(&mut self, out: &mut Vec<FaultEvent>) {
+        out.append(&mut self.pending);
+    }
+}
+
+/// Derives the seed of one probe's RNG stream from the master seed.
+/// `SmallRng::seed_from_u64` runs the result through SplitMix64, so a
+/// simple odd-multiplier combination is enough to decorrelate streams.
+fn stream_seed(master: u64, site: FaultSite, instance: u64) -> u64 {
+    master
+        ^ (site as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ instance.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires_and_consumes_no_rng() {
+        let cfg = FaultConfig::off(7);
+        let mut p = FaultProbe::new(&cfg, FaultSite::L1Line, 0);
+        for i in 0..10_000u64 {
+            p.observe(i * 64);
+        }
+        assert_eq!(p.injected(), 0);
+        let mut out = Vec::new();
+        p.drain_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rate_one_fires_on_every_access() {
+        let cfg = FaultConfig::uniform(1.0, 7);
+        let mut p = FaultProbe::new(&cfg, FaultSite::DramBurst, 0);
+        for i in 0..100u64 {
+            p.observe(i * 64 + 13);
+        }
+        assert_eq!(p.injected(), 100);
+        let mut out = Vec::new();
+        p.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.line_addr, i as u64 * 64, "events are line-aligned");
+            assert!((e.byte_in_line as usize) < LINE_BYTES);
+            assert!(e.bit < 8);
+            assert_eq!(e.addr(), e.line_addr + u64::from(e.byte_in_line));
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = FaultConfig::uniform(0.37, 42);
+        let run = || {
+            let mut p = FaultProbe::new(&cfg, FaultSite::L2Line, 3);
+            let mut out = Vec::new();
+            for i in 0..5_000u64 {
+                p.observe(i * 64);
+            }
+            p.drain_into(&mut out);
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_instances_get_different_streams() {
+        let cfg = FaultConfig::uniform(0.5, 42);
+        let events = |instance| {
+            let mut p = FaultProbe::new(&cfg, FaultSite::L1Line, instance);
+            let mut out = Vec::new();
+            for i in 0..1_000u64 {
+                p.observe(i * 64);
+            }
+            p.drain_into(&mut out);
+            out
+        };
+        assert_ne!(events(0), events(1));
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let cfg = FaultConfig::off(9).with_rate(FaultSite::L3Line, 0.1);
+        let mut p = FaultProbe::new(&cfg, FaultSite::L3Line, 0);
+        let n = 100_000u64;
+        for i in 0..n {
+            p.observe(i * 64);
+        }
+        let rate = p.injected() as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(FaultSite::NocFlit.is_transient());
+        for site in [
+            FaultSite::L1Line,
+            FaultSite::L2Line,
+            FaultSite::L3Line,
+            FaultSite::DramBurst,
+        ] {
+            assert!(!site.is_transient(), "{site}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for site in FaultSite::ALL {
+            assert_eq!(site.to_string(), site.label());
+        }
+        assert_eq!(FaultSite::ALL.len(), FaultSite::COUNT);
+    }
+}

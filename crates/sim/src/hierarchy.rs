@@ -17,9 +17,10 @@ use serde::{Deserialize, Serialize};
 use crate::cache::CacheArray;
 use crate::config::{SimConfig, LINE_BYTES};
 use crate::dram::DramModel;
+use crate::faults::{FaultConfig, FaultEvent, FaultProbe, FaultSite};
 use crate::noc::Mesh;
 use crate::prefetch::StreamPrefetcher;
-use crate::stats::{CacheStats, PrefetchStats, TrafficStats};
+use crate::stats::{CacheStats, FaultStats, PrefetchStats, TrafficStats};
 
 /// Which level served a demand line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -93,6 +94,8 @@ pub struct MemorySystem {
     mesh: Mesh,
     traffic: TrafficStats,
     pf_scratch: Vec<u64>,
+    /// Detections reported back by the consumer, per fault site.
+    fault_detected: [u64; FaultSite::COUNT],
 }
 
 impl MemorySystem {
@@ -116,8 +119,83 @@ impl MemorySystem {
             l2_pf,
             traffic: TrafficStats::new(),
             pf_scratch: Vec::with_capacity(16),
+            fault_detected: [0; FaultSite::COUNT],
             cfg,
         }
+    }
+
+    /// Arms fault injection across the hierarchy: each component with a
+    /// non-zero rate in `faults` gets its own [`FaultProbe`] whose RNG
+    /// stream is derived from the master seed, the site tag and the core
+    /// index — so replays are bit-for-bit identical and enabling one site
+    /// does not perturb another site's stream.
+    pub fn attach_faults(&mut self, faults: &FaultConfig) {
+        if faults.l1_line > 0.0 {
+            for (core, l1) in self.l1.iter_mut().enumerate() {
+                l1.attach_fault_probe(FaultProbe::new(faults, FaultSite::L1Line, core as u64));
+            }
+        }
+        if faults.l2_line > 0.0 {
+            for (core, l2) in self.l2.iter_mut().enumerate() {
+                l2.attach_fault_probe(FaultProbe::new(faults, FaultSite::L2Line, core as u64));
+            }
+        }
+        if faults.l3_line > 0.0 {
+            self.l3
+                .attach_fault_probe(FaultProbe::new(faults, FaultSite::L3Line, 0));
+        }
+        if faults.dram_burst > 0.0 {
+            self.dram
+                .attach_fault_probe(FaultProbe::new(faults, FaultSite::DramBurst, 0));
+        }
+        if faults.noc_flit > 0.0 {
+            self.mesh
+                .attach_fault_probe(FaultProbe::new(faults, FaultSite::NocFlit, 0));
+        }
+    }
+
+    /// Drains every component's pending fault events in a fixed component
+    /// order (L1 per core, L2 per core, L3, DRAM, NoC). The consumer maps
+    /// each event's address into its own data structures, applies the bit
+    /// flip there and later reports detections via
+    /// [`record_fault_detection`](Self::record_fault_detection).
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        for l1 in &mut self.l1 {
+            l1.drain_faults(&mut out);
+        }
+        for l2 in &mut self.l2 {
+            l2.drain_faults(&mut out);
+        }
+        self.l3.drain_faults(&mut out);
+        self.dram.drain_faults(&mut out);
+        self.mesh.drain_faults(&mut out);
+        out
+    }
+
+    /// Records that an injected fault at `site` was caught by the
+    /// integrity machinery (validation, typed expansion error or checksum
+    /// mismatch).
+    pub fn record_fault_detection(&mut self, site: FaultSite) {
+        self.fault_detected[site as usize] += 1;
+    }
+
+    /// Per-site injection and detection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = FaultStats {
+            detected: self.fault_detected,
+            ..FaultStats::default()
+        };
+        for l1 in &self.l1 {
+            s.injected[FaultSite::L1Line as usize] += l1.faults_injected();
+        }
+        for l2 in &self.l2 {
+            s.injected[FaultSite::L2Line as usize] += l2.faults_injected();
+        }
+        s.injected[FaultSite::L3Line as usize] = self.l3.faults_injected();
+        s.injected[FaultSite::DramBurst as usize] = self.dram.faults_injected();
+        s.injected[FaultSite::NocFlit as usize] = self.mesh.faults_injected();
+        s
     }
 
     /// The machine configuration.
@@ -299,7 +377,7 @@ impl MemorySystem {
 
     /// Shared L3 demand access.
     fn access_l3(&mut self, core: usize, line_addr: u64, is_writeback: bool) -> (ServedBy, u32) {
-        let noc = self.mesh.l3_round_trip_cycles(core, line_addr);
+        let noc = self.mesh.l3_round_trip_faulted(core, line_addr);
         let l3 = self.l3.access(line_addr, is_writeback, false);
         if l3.hit {
             (ServedBy::L3, self.cfg.l3.hit_latency + noc)
@@ -575,5 +653,78 @@ mod tests {
     fn invalid_core_panics() {
         let mut m = mem();
         m.read(99, 0, 64);
+    }
+
+    #[test]
+    fn faults_off_by_default() {
+        let mut m = mem();
+        for i in 0..1000u64 {
+            m.read(0, i * 64, 64);
+        }
+        assert_eq!(m.fault_stats().total_injected(), 0);
+        assert!(m.drain_fault_events().is_empty());
+    }
+
+    #[test]
+    fn armed_hierarchy_injects_and_replays_deterministically() {
+        let run = || {
+            let mut m = mem();
+            m.attach_faults(&FaultConfig::uniform(0.05, 1234));
+            for i in 0..2000u64 {
+                m.read(i as usize % 2, i * 64, 64);
+            }
+            let events = m.drain_fault_events();
+            (events, m.fault_stats())
+        };
+        let (events_a, stats_a) = run();
+        let (events_b, stats_b) = run();
+        assert_eq!(events_a, events_b, "same seed must replay identically");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.total_injected() > 0, "5% over 2000 accesses fires");
+        assert_eq!(stats_a.total_injected(), events_a.len() as u64);
+        // Streaming reads exercise L1, DRAM and (via L3 misses) the NoC.
+        assert!(stats_a.injected_at(FaultSite::L1Line) > 0);
+        assert!(stats_a.injected_at(FaultSite::DramBurst) > 0);
+        assert!(stats_a.injected_at(FaultSite::NocFlit) > 0);
+        // Drain is destructive.
+        let mut m = mem();
+        m.attach_faults(&FaultConfig::uniform(0.05, 1234));
+        for i in 0..2000u64 {
+            m.read(i as usize % 2, i * 64, 64);
+        }
+        assert!(!m.drain_fault_events().is_empty());
+        assert!(m.drain_fault_events().is_empty());
+    }
+
+    #[test]
+    fn single_site_rate_only_fires_that_site() {
+        let mut m = mem();
+        m.attach_faults(&FaultConfig::off(9).with_rate(FaultSite::L2Line, 1.0));
+        for i in 0..64u64 {
+            m.read(0, i * 64, 64);
+        }
+        let stats = m.fault_stats();
+        assert!(stats.injected_at(FaultSite::L2Line) > 0);
+        for site in [
+            FaultSite::L1Line,
+            FaultSite::L3Line,
+            FaultSite::DramBurst,
+            FaultSite::NocFlit,
+        ] {
+            assert_eq!(stats.injected_at(site), 0, "{site}");
+        }
+        for e in m.drain_fault_events() {
+            assert_eq!(e.site, FaultSite::L2Line);
+        }
+    }
+
+    #[test]
+    fn detections_are_recorded_per_site() {
+        let mut m = mem();
+        m.record_fault_detection(FaultSite::DramBurst);
+        m.record_fault_detection(FaultSite::DramBurst);
+        let stats = m.fault_stats();
+        assert_eq!(stats.detected_at(FaultSite::DramBurst), 2);
+        assert_eq!(stats.total_detected(), 2);
     }
 }

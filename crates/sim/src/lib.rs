@@ -44,6 +44,7 @@ pub mod config;
 pub mod core;
 pub mod dram;
 pub mod engine;
+pub mod faults;
 pub mod hierarchy;
 pub mod noc;
 pub mod prefetch;
@@ -51,5 +52,6 @@ pub mod stats;
 
 pub use config::SimConfig;
 pub use engine::{Machine, PhaseMode, PhaseReport, RunSummary};
+pub use faults::{FaultConfig, FaultEvent, FaultProbe, FaultSite};
 pub use hierarchy::{AccessResult, MemorySystem, ServedBy};
-pub use stats::{CacheStats, CycleBreakdown, PrefetchStats, TrafficStats};
+pub use stats::{CacheStats, CycleBreakdown, FaultStats, PrefetchStats, TrafficStats};

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::{NocConfig, LINE_BYTES};
+use crate::faults::{FaultEvent, FaultProbe};
 
 /// A tile coordinate in the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -34,13 +35,48 @@ pub struct Tile {
 #[derive(Debug, Clone)]
 pub struct Mesh {
     cfg: NocConfig,
+    /// Optional fault source rolled once per L3 round trip. NoC faults are
+    /// transient: the flip happens to a flit in flight, so a retried
+    /// transfer reads clean data.
+    fault_probe: Option<FaultProbe>,
 }
 
 impl Mesh {
     /// Creates a mesh from its configuration.
     pub fn new(cfg: NocConfig) -> Self {
         assert!(cfg.width > 0 && cfg.height > 0, "mesh must be non-empty");
-        Mesh { cfg }
+        Mesh {
+            cfg,
+            fault_probe: None,
+        }
+    }
+
+    /// Attaches a fault probe: every faulted round trip rolls one
+    /// injection trial.
+    pub fn attach_fault_probe(&mut self, probe: FaultProbe) {
+        self.fault_probe = Some(probe);
+    }
+
+    /// Faults injected by this mesh's probe so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_probe.as_ref().map_or(0, FaultProbe::injected)
+    }
+
+    /// Moves this mesh's pending fault events into `out`.
+    pub fn drain_faults(&mut self, out: &mut Vec<FaultEvent>) {
+        if let Some(p) = &mut self.fault_probe {
+            p.drain_into(out);
+        }
+    }
+
+    /// [`l3_round_trip_cycles`](Self::l3_round_trip_cycles) with fault
+    /// injection: the traversal rolls one trial against the carried line.
+    /// Used by the hierarchy's demand path; the latency is identical.
+    pub fn l3_round_trip_faulted(&mut self, core: usize, addr: u64) -> u32 {
+        if let Some(p) = &mut self.fault_probe {
+            p.observe(addr);
+        }
+        self.l3_round_trip_cycles(core, addr)
     }
 
     /// Number of tiles in the mesh.

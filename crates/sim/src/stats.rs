@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultSite;
+
 /// Byte-traffic counters at every boundary of the memory hierarchy.
 ///
 /// * `core_bytes` — bytes moved between the cores and the cache hierarchy
@@ -132,6 +134,72 @@ impl PrefetchStats {
     }
 }
 
+/// Per-site fault injection and detection counters.
+///
+/// Injections are counted by the probes at the moment a flip is rolled;
+/// detections are reported back by the kernel layer when a validation
+/// pass, typed expansion error or checksum mismatch attributes a failure
+/// to a drained fault event. `injected - detected` at a site bounds the
+/// silent-corruption exposure (some injected flips are benign: they land
+/// in bytes the workload never re-reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected, indexed by [`FaultSite`] discriminant.
+    pub injected: [u64; FaultSite::COUNT],
+    /// Faults detected by the integrity machinery, same indexing.
+    pub detected: [u64; FaultSite::COUNT],
+}
+
+impl FaultStats {
+    /// Records one injection at `site`.
+    pub fn record_injection(&mut self, site: FaultSite) {
+        self.injected[site as usize] += 1;
+    }
+
+    /// Records one detection attributed to `site`.
+    pub fn record_detection(&mut self, site: FaultSite) {
+        self.detected[site as usize] += 1;
+    }
+
+    /// Injections at one site.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.injected[site as usize]
+    }
+
+    /// Detections attributed to one site.
+    pub fn detected_at(&self, site: FaultSite) -> u64 {
+        self.detected[site as usize]
+    }
+
+    /// Total injections across sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total detections across sites.
+    pub fn total_detected(&self) -> u64 {
+        self.detected.iter().sum()
+    }
+
+    /// Fraction of injected faults that were detected (0.0 when none were
+    /// injected).
+    pub fn detection_rate(&self) -> f64 {
+        if self.total_injected() == 0 {
+            0.0
+        } else {
+            self.total_detected() as f64 / self.total_injected() as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        for i in 0..FaultSite::COUNT {
+            self.injected[i] += other.injected[i];
+            self.detected[i] += other.detected[i];
+        }
+    }
+}
+
 /// Cycle breakdown into the three buckets of Fig. 2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CycleBreakdown {
@@ -215,6 +283,24 @@ mod tests {
         assert!((p.accuracy() - 0.98).abs() < 1e-12);
         assert!((p.coverage() - 0.98).abs() < 1e-12);
         assert_eq!(PrefetchStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn fault_stats_counts_and_rate() {
+        let mut s = FaultStats::default();
+        s.record_injection(FaultSite::L1Line);
+        s.record_injection(FaultSite::DramBurst);
+        s.record_detection(FaultSite::L1Line);
+        assert_eq!(s.injected_at(FaultSite::L1Line), 1);
+        assert_eq!(s.total_injected(), 2);
+        assert_eq!(s.total_detected(), 1);
+        assert!((s.detection_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(FaultStats::default().detection_rate(), 0.0);
+        let mut merged = FaultStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.total_injected(), 4);
+        assert_eq!(merged.detected_at(FaultSite::L1Line), 2);
     }
 
     #[test]

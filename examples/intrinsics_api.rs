@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example intrinsics_api`
 
 use zcomp_isa::ccf::CompareCond;
-use zcomp_isa::intrinsics::{
-    mm512_zcompl_i_ps, mm512_zcomps_i_ps, Ptr, SimMemory,
-};
+use zcomp_isa::intrinsics::{mm512_zcompl_i_ps, mm512_zcomps_i_ps, Ptr, SimMemory};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = SimMemory::new(1 << 20);

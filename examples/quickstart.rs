@@ -15,7 +15,13 @@ fn main() {
     // A toy pre-activation buffer: half the values are negative, as the
     // output of a convolution would be before its ReLU.
     let pre_activation: Vec<f32> = (0..64)
-        .map(|i| if i % 2 == 0 { -(i as f32) - 1.0 } else { i as f32 })
+        .map(|i| {
+            if i % 2 == 0 {
+                -(i as f32) - 1.0
+            } else {
+                i as f32
+            }
+        })
         .collect();
 
     // --- Fused ReLU + compression: zcomps with the _LTEZ condition ---
@@ -43,8 +49,8 @@ fn main() {
     );
 
     // --- Separate-header variant (§3.2) ---
-    let sep = compress_f32_with(&relu, CompareCond::Eqz, HeaderMode::Separate)
-        .expect("whole vectors");
+    let sep =
+        compress_f32_with(&relu, CompareCond::Eqz, HeaderMode::Separate).expect("whole vectors");
     println!(
         "separate-header variant: {} data bytes + {} header bytes",
         sep.data_bytes(),

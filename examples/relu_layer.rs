@@ -17,7 +17,7 @@ fn main() {
     let sparsity = 0.53; // the paper's average snapshot sparsity
     println!(
         "ReLU layer, {} MB feature map, {:.0}% sparsity, 16 threads\n",
-        elements * 4 >> 20,
+        (elements * 4) >> 20,
         sparsity * 100.0
     );
     let nnz = nnz_synthetic(elements, sparsity, 6.0, 42);

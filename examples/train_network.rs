@@ -19,7 +19,10 @@ fn main() {
     let net = model.build(batch);
     let profile = SparsityModel::default().profile(&net, 50);
 
-    println!("network: {model}, batch {batch}, {} layers", net.layers.len());
+    println!(
+        "network: {model}, batch {batch}, {} layers",
+        net.layers.len()
+    );
     let fp = training_footprint(&net);
     println!(
         "training footprint: {} MB total, {:.0}% feature maps\n",

@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Each benchmark routine is timed with `std::time::Instant` over
+//! `sample_size` batches and the mean/min per-iteration time is printed —
+//! no warmup tuning, outlier analysis, or HTML reports. Under `cargo test`
+//! (which runs `harness = false` bench targets in test mode) each routine
+//! executes a single iteration so the suite stays fast; full timing runs
+//! under `cargo bench`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (configuration + reporting).
+pub struct Criterion {
+    sample_size: usize,
+    /// True when invoked by `cargo test` (smoke-run mode: one iteration).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` when running a harness=false bench target
+        // under `cargo test`; `--bench` when under `cargo bench`.
+        let test_mode =
+            std::env::args().any(|a| a == "--test") || !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim does not warm up.
+    pub fn warm_up_time(self, _: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; batch counts come from
+    /// `sample_size` alone.
+    pub fn measurement_time(self, _: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        run_benchmark(&label, self.sample_size, self.test_mode, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing loop handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `f(setup())`, excluding (approximately) the setup cost by
+    /// running setup outside the timed region of each iteration.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut f: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Parameterized benchmark label, e.g. `eqz/53`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed / bencher.iters.max(1) as u32;
+        best = best.min(per_iter);
+        total += bencher.elapsed;
+        total_iters += bencher.iters;
+    }
+    if test_mode {
+        println!("bench {label}: ok (smoke run)");
+        return;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(", {:.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!(
+                ", {:.1} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+    });
+    println!(
+        "bench {label}: mean {:?}, best {:?} over {samples} samples{}",
+        mean,
+        best,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

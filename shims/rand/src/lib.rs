@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `SmallRng` uses on 64-bit targets — so streams are
+//! deterministic, well distributed, and cheap. Numeric streams are NOT
+//! bit-identical to the real crate (range sampling differs), which is fine:
+//! everything in this repository that consumes randomness fixes its own
+//! seed and only requires reproducibility, not cross-crate equality.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a float in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits of precision, exactly representable.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                // Multiply-shift bounding; bias is < 2^-64 per draw, far
+                // below anything these simulations can observe.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as $wide;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as $wide;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty => $unit:ident),+ $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = $unit(rng.next_u64());
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = $unit(rng.next_u64());
+                lo + u * (hi - lo)
+            }
+        }
+    )+};
+}
+
+float_sample_range!(f32 => unit_f32, f64 => unit_f64);
+
+/// Small, fast RNGs.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind the real `SmallRng` on 64-bit
+    /// platforms. Not cryptographically secure; plenty for simulation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1 << 28), b.gen_range(0u64..1 << 28));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let different = (0..16).any(|_| a.gen_range(0u64..u64::MAX) != c.gen_range(0u64..u64::MAX));
+        assert!(different, "seeds must decorrelate streams");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-0.04f64..0.04);
+            assert!((-0.04..0.04).contains(&x));
+            let y = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&y));
+            let z = rng.gen_range(1u8..=255);
+            assert!(z >= 1);
+            let f = rng.gen_range(1e-3f32..2.0);
+            assert!((1e-3..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,257 @@
+//! `Serialize`/`Deserialize` impls for primitives and std containers.
+
+use crate::{DeError, Deserialize, Serialize, Value};
+
+// --- integers --------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- floats ----------------------------------------------------------------
+
+macro_rules! float_impls {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON renders 1.0 as "1", so integers must read back
+                    // as floats (and non-finite floats serialize as null).
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+float_impls!(f32, f64);
+
+// --- bool / char / strings -------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::custom(format!(
+                "expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// --- references / smart pointers ------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+// --- option ----------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+// --- sequences --------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let items = crate::de_seq(value, N)?;
+        let parsed: Result<Vec<T>, DeError> = items.iter().map(T::deserialize_value).collect();
+        parsed?
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+// --- tuples -----------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+) / $len:expr;)+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let items = crate::de_seq(value, $len)?;
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A: 0) / 1;
+    (A: 0, B: 1) / 2;
+    (A: 0, B: 1, C: 2) / 3;
+    (A: 0, B: 1, C: 2, D: 3) / 4;
+}
+
+// --- Value itself -----------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}

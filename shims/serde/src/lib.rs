@@ -1,0 +1,90 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde is a visitor-based framework; this shim is a much simpler
+//! *value model*: `Serialize` lowers a type into a [`Value`] tree and
+//! `Deserialize` rebuilds the type from one. `serde_json` (also shimmed)
+//! renders `Value` to JSON text. The derive macros in `serde_derive`
+//! generate impls against these traits using serde's default externally
+//! tagged data model, so the JSON written by this shim matches what real
+//! serde_json would produce for the same types (named-field structs become
+//! objects, unit enum variants become strings, data-carrying variants
+//! become single-key objects).
+//!
+//! Object fields keep insertion order, which makes serialized output
+//! deterministic — a property the fault-campaign experiment relies on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{DeError, Value};
+
+/// Lowers `self` into a [`Value`] tree.
+///
+/// The odd method name (vs. serde's `serialize`) makes it impossible to
+/// confuse this shim with the real visitor-based trait.
+pub trait Serialize {
+    /// Returns the value-model representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `value`, with a typed error on mismatch.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code (public, hidden from docs).
+// ---------------------------------------------------------------------------
+
+/// Deserializes field `name` of an object value; missing fields read as
+/// `Null` so `Option` fields default to `None` like real serde.
+#[doc(hidden)]
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let field = match value {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null),
+        _ => {
+            return Err(DeError::custom(format!(
+                "expected object with field `{name}`, found {}",
+                value.kind()
+            )))
+        }
+    };
+    T::deserialize_value(field).map_err(|e| e.in_field(name))
+}
+
+/// Splits an externally tagged enum value `{"Variant": inner}` into
+/// `(tag, inner)`.
+#[doc(hidden)]
+pub fn de_tagged(value: &Value) -> Result<(&str, &Value), DeError> {
+    match value {
+        Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+        _ => Err(DeError::custom(format!(
+            "expected single-key variant object, found {}",
+            value.kind()
+        ))),
+    }
+}
+
+/// Checks that `value` is an array of exactly `expected` elements (tuple
+/// variants / tuple structs) and returns the elements.
+#[doc(hidden)]
+pub fn de_seq(value: &Value, expected: usize) -> Result<&[Value], DeError> {
+    match value {
+        Value::Array(items) if items.len() == expected => Ok(items),
+        Value::Array(items) => Err(DeError::custom(format!(
+            "expected {expected}-element sequence, found {} elements",
+            items.len()
+        ))),
+        _ => Err(DeError::custom(format!(
+            "expected sequence, found {}",
+            value.kind()
+        ))),
+    }
+}

@@ -1,0 +1,149 @@
+//! The value model: a JSON-shaped tree with insertion-ordered objects.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON-shaped dynamic value.
+///
+/// Integers are held as `i128` so the full `u64` and `i64` ranges round-trip
+/// without loss; floats are `f64`. Objects are insertion-ordered key/value
+/// pairs, which keeps serialized output byte-stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (covers all of `u64` and `i64`).
+    Int(i128),
+    /// JSON floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Creates an empty object.
+    pub fn new_object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Wraps a variant payload in serde's externally tagged form
+    /// `{"tag": inner}`.
+    pub fn tagged(tag: &str, inner: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+
+    /// Inserts or replaces field `name` (objects only; panics otherwise).
+    pub fn push_field(&mut self, name: &str, value: Value) {
+        match self {
+            Value::Object(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == name) {
+                    slot.1 = value;
+                } else {
+                    fields.push((name.to_string(), value));
+                }
+            }
+            other => panic!("push_field on non-object value {}", other.kind()),
+        }
+    }
+
+    /// Field lookup on objects; `None` for missing fields or non-objects.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable name of this value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// `v["field"]` — yields `Null` for missing fields, like `serde_json`.
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, name: &str) -> &Value {
+        self.get(name).unwrap_or(&NULL)
+    }
+}
+
+/// `v["field"] = x` — auto-inserts a `Null` slot in objects, like
+/// `serde_json`.
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, name: &str) -> &mut Value {
+        match self {
+            Value::Object(fields) => {
+                if let Some(pos) = fields.iter().position(|(k, _)| k == name) {
+                    &mut fields[pos].1
+                } else {
+                    fields.push((name.to_string(), Value::Null));
+                    &mut fields.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index non-object value {} by string", other.kind()),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization (and general serde-shim) error: a plain message with the
+/// field path it occurred under.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Returns the error with `field` prepended to its path.
+    pub fn in_field(mut self, field: &str) -> DeError {
+        self.path.insert(0, field.to_string());
+        self
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "at `{}`: {}", self.path.join("."), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,406 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! The registry is unreachable in this build environment, so these macros
+//! are written against `proc_macro` alone — the item is parsed by walking
+//! its token stream directly (no `syn`), and the generated impl is built as
+//! a string and re-parsed. Supported shapes are exactly what the workspace
+//! uses: non-generic named-field structs, tuple/unit structs, and enums
+//! with unit (optionally discriminant-valued), newtype, tuple, and
+//! struct variants. `#[serde(...)]` attributes are not supported and the
+//! workspace does not use them.
+//!
+//! Encoding follows serde's externally tagged default, so the JSON matches
+//! what the real serde_derive + serde_json pair would emit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field shape of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_text(tok: Option<&TokenTree>) -> Option<String> {
+    match tok {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(toks.get(*i), '#')
+            && matches!(toks.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 2;
+        } else if ident_text(toks.get(*i)).as_deref() == Some("pub") {
+            *i += 1;
+            if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Advances to just past the next top-level `,` (or the end), tracking
+/// `<...>` nesting so commas inside generic arguments don't terminate the
+/// scan. `->` is stepped over so its `>` is not miscounted.
+fn skip_past_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        if is_punct(toks.get(*i), '-') && is_punct(toks.get(*i + 1), '>') {
+            *i += 2;
+            continue;
+        }
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_text(toks.get(i)).expect("field name");
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_past_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_past_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_text(toks.get(i)).expect("variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                i += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if is_punct(toks.get(i), '=') {
+            i += 1;
+        }
+        skip_past_comma(&toks, &mut i);
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_text(toks.get(i)).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_text(toks.get(i)).expect("type name");
+    i += 1;
+    assert!(
+        !is_punct(toks.get(i), '<'),
+        "serde shim derive: generic type `{name}` is not supported"
+    );
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Body::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum `{name}` without a body"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_expr(place: &str) -> String {
+    format!("::serde::Serialize::serialize_value({place})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Named(fields)) => gen_fields_object(fields, |f| format!("&self.{f}")),
+        Body::Struct(Fields::Tuple(1)) => ser_expr("&self.0"),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|k| ser_expr(&format!("&self.{k}"))).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::tagged(\
+                         \"{vname}\", {}),\n",
+                        ser_expr("__f0")
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders.iter().map(|b| ser_expr(b)).collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::tagged(\
+                             \"{vname}\", ::serde::Value::Array(vec![{}])),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let obj = gen_fields_object(fnames, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {} }} => \
+                             ::serde::Value::tagged(\"{vname}\", {obj}),\n",
+                            fnames.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Builds `{ let mut __obj = ...; __obj.push_field(...); __obj }` for a set
+/// of named fields, with `place(f)` supplying the expression for field `f`.
+fn gen_fields_object(fields: &[String], place: impl Fn(&str) -> String) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::new_object()".to_string();
+    }
+    let mut out = String::from("{\nlet mut __obj = ::serde::Value::new_object();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__obj.push_field(\"{f}\", {});\n",
+            ser_expr(&place(f))
+        ));
+    }
+    out.push_str("__obj\n}");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (param, body) = match &item.body {
+        Body::Struct(Fields::Unit) => ("_", format!("::core::result::Result::Ok({name})")),
+        Body::Struct(Fields::Named(fields)) if fields.is_empty() => {
+            ("_", format!("::core::result::Result::Ok({name} {{}})"))
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\")?"))
+                .collect();
+            (
+                "__v",
+                format!(
+                    "::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => (
+            "__v",
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__v)?))"
+            ),
+        ),
+        Body::Struct(Fields::Tuple(n)) => (
+            "__v",
+            format!(
+                "{{ let __items = ::serde::de_seq(__v, {n})?;\n\
+                 ::core::result::Result::Ok({name}({})) }}",
+                (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize_value(&__items[{k}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        Body::Enum(variants) => {
+            let units: Vec<&String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| v)
+                .collect();
+            let data: Vec<&(String, Fields)> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .collect();
+            let mut body = String::new();
+            if !units.is_empty() {
+                body.push_str(
+                    "if let ::serde::Value::Str(__s) = __v {\nreturn match __s.as_str() {\n",
+                );
+                for v in &units {
+                    body.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err(\
+                     ::serde::DeError::custom(format!(\
+                     \"unknown variant `{{}}` for {name}\", __other))),\n}};\n}}\n"
+                ));
+            }
+            if data.is_empty() {
+                body.push_str(&format!(
+                    "::core::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected variant string for {name}, found {{}}\", \
+                     __v.kind())))"
+                ));
+            } else {
+                body.push_str("let (__tag, __inner) = ::serde::de_tagged(__v)?;\nmatch __tag {\n");
+                for (vname, fields) in &data {
+                    let arm = match fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok(\
+                             {name}::{vname}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "\"{vname}\" => {{ let __items = \
+                             ::serde::de_seq(__inner, {n})?;\n\
+                             ::core::result::Result::Ok({name}::{vname}({})) }}\n",
+                            (0..*n)
+                                .map(|k| format!(
+                                    "::serde::Deserialize::deserialize_value(&__items[{k}])?"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        Fields::Named(fnames) => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}),\n",
+                            fnames
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(__inner, \"{f}\")?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        Fields::Unit => unreachable!("unit variants filtered out"),
+                    };
+                    body.push_str(&arm);
+                }
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err(\
+                     ::serde::DeError::custom(format!(\
+                     \"unknown variant `{{}}` for {name}\", __other))),\n}}\n"
+                ));
+            }
+            ("__v", body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value({param}: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

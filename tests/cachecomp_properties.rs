@@ -27,8 +27,8 @@ proptest! {
         for line in lines_of(&data) {
             let fpcd = fpcd_line_bytes(&line);
             let bdi = bdi_line_bytes(&line);
-            prop_assert!(fpcd >= 8 && fpcd <= LINE_BYTES, "fpcd {fpcd}");
-            prop_assert!(bdi >= 3 && bdi <= LINE_BYTES, "bdi {bdi}");
+            prop_assert!((8..=LINE_BYTES).contains(&fpcd), "fpcd {fpcd}");
+            prop_assert!((3..=LINE_BYTES).contains(&bdi), "bdi {bdi}");
         }
     }
 

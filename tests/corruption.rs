@@ -8,8 +8,50 @@ use zcomp_isa::ccf::CompareCond;
 use zcomp_isa::compress::{compress_f32, expand_f32};
 use zcomp_isa::dtype::ElemType;
 use zcomp_isa::error::ZcompError;
+use zcomp_isa::integrity::{StreamChecksum, StreamRegion};
 use zcomp_isa::stream::{CompressedStream, CompressedWriter, HeaderMode};
 use zcomp_isa::vec512::Vec512;
+
+/// Builds a compressible stream of any element type: pseudo-random lane
+/// bytes with roughly half the lanes zeroed (so `Eqz` compresses them).
+fn build_stream(ty: ElemType, mode: HeaderMode, seed: u64, vectors: usize) -> CompressedStream {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let es = ty.size_bytes();
+    let mut w = CompressedWriter::new(ty, mode);
+    for _ in 0..vectors {
+        let mut bytes = [0u8; 64];
+        for b in bytes.iter_mut() {
+            *b = (next() >> 32) as u8;
+        }
+        for lane in 0..ty.lanes() {
+            if next() % 2 == 0 {
+                bytes[lane * es..(lane + 1) * es].fill(0);
+            } else {
+                // Keep kept lanes nonzero even if the random byte was 0.
+                bytes[lane * es] |= 1;
+            }
+        }
+        w.write_vector(&Vec512::from_bytes(bytes), CompareCond::Eqz)
+            .expect("unbounded");
+    }
+    w.finish()
+}
+
+/// Walks a stream with the generic reader, returning the vector count.
+fn expand_generic(stream: &CompressedStream) -> Result<usize, ZcompError> {
+    let mut r = stream.reader();
+    let mut n = 0;
+    while r.read_vector()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
 
 /// Builds a valid stream, then round-trips it through serde so we can
 /// mutate the raw regions (the public API deliberately hides them behind
@@ -50,8 +92,105 @@ fn validate_accepts_exactly_the_writer_output() {
     assert!(bloated.validate().is_err(), "trailing byte must be caught");
 }
 
+/// §4.1 hazard, separate-header mode, *without* any checksum: every
+/// single-bit flip in the header array changes exactly one popcount by
+/// ±1, so the header walk can no longer reconcile with the payload
+/// length. `validate()` (or the reader itself) must catch every one of
+/// them, for every element type — this is the structural guarantee the
+/// strong degradation policy in `zcomp-kernels` relies on.
+#[test]
+fn every_header_bit_flip_is_caught_in_separate_mode() {
+    for ty in ElemType::ALL {
+        let stream = build_stream(ty, HeaderMode::Separate, 0xC0FFEE ^ ty as u64, 32);
+        stream.validate().expect("clean stream is valid");
+        assert_eq!(expand_generic(&stream).expect("clean stream reads"), 32);
+        for byte in 0..stream.headers().len() {
+            for bit in 0..8u8 {
+                let mut c = stream.clone();
+                assert!(c.flip_bit(StreamRegion::Headers, byte, bit));
+                let detected = c.validate().is_err() || expand_generic(&c).is_err();
+                assert!(
+                    detected,
+                    "{ty}: header byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+}
+
+/// Tri-condition, exhaustively, for every element type and both header
+/// modes: a single-bit flip anywhere in the stream is caught by
+/// `validate()`, OR by a typed reader error, OR by the CRC32 sidecar —
+/// and never by a panic or out-of-bounds access.
+#[test]
+fn every_single_bit_flip_meets_the_tri_condition() {
+    for ty in ElemType::ALL {
+        for mode in [HeaderMode::Interleaved, HeaderMode::Separate] {
+            let stream = build_stream(ty, mode, 0x0BAD_C0DE ^ ty as u64, 12);
+            let sidecar = StreamChecksum::of(&stream);
+            sidecar.verify(&stream).expect("clean stream checks out");
+            for (region, len) in [
+                (StreamRegion::Data, stream.data().len()),
+                (StreamRegion::Headers, stream.headers().len()),
+            ] {
+                for byte in 0..len {
+                    for bit in 0..8u8 {
+                        let mut c = stream.clone();
+                        assert!(c.flip_bit(region, byte, bit));
+                        let caught = c.validate().is_err()
+                            || expand_generic(&c).is_err()
+                            || sidecar.verify(&c).is_err();
+                        assert!(
+                            caught,
+                            "{ty} {mode:?}: {region:?} byte {byte} bit {bit} went undetected"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Multi-bit corruption of any region, any element type, either
+    /// header mode: the reader terminates with either right-shaped data
+    /// or a typed error — never a panic, hang or out-of-bounds read.
+    #[test]
+    fn multi_dtype_corruption_is_contained(
+        ty_idx in 0usize..5,
+        separate in 0u8..2,
+        in_headers in 0u8..2,
+        seed in 0u64..1000,
+        pos_frac in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        let ty = ElemType::ALL[ty_idx];
+        let mode = if separate == 1 { HeaderMode::Separate } else { HeaderMode::Interleaved };
+        let stream = build_stream(ty, mode, seed, 16);
+        let region = if in_headers == 1 && !stream.headers().is_empty() {
+            StreamRegion::Headers
+        } else {
+            StreamRegion::Data
+        };
+        let len = match region {
+            StreamRegion::Data => stream.data().len(),
+            StreamRegion::Headers => stream.headers().len(),
+        };
+        let pos = ((len - 1) as f64 * pos_frac) as usize;
+        let mut corrupted = stream.clone();
+        for bit in 0..8u8 {
+            if flip_bits & (1 << bit) != 0 {
+                prop_assert!(corrupted.flip_bit(region, pos, bit));
+            }
+        }
+        // Any typed error is an acceptable outcome; success must preserve
+        // the vector count.
+        if let Ok(n) = expand_generic(&corrupted) {
+            prop_assert_eq!(n, 16, "shape preserved");
+        }
+    }
 
     /// Flipping any single byte of the data region never panics: the
     /// reader either errors or returns (possibly wrong) data of the right

@@ -82,8 +82,7 @@ fn partitioned_retrieval_recovers_relu() {
             let tvec = mem
                 .load_vec(x_base + (chunk.start + v * 16) as u64 * 4)
                 .expect("in bounds");
-            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez)
-                .expect("fits");
+            mm512_zcomps_i_ps(&mut mem, &mut y_ptr, tvec, CompareCond::Ltez).expect("fits");
         }
     }
     // Retrieval must use the same partitioning (§4.3: "the expansion
