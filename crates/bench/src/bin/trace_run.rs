@@ -1,0 +1,100 @@
+//! Runs an experiment under the tracer and writes the trace artifacts.
+//!
+//! ```text
+//! trace_run <fig12|fullnet> [--scale N] [--out DIR]
+//! ```
+//!
+//! Produces, under `--out` (default `results/`):
+//!
+//! * `trace_<exp>.json` — Chrome `trace_event` JSON, loadable in
+//!   Perfetto / `chrome://tracing`;
+//! * `counters_<exp>.csv` — counter samples as a CSV time series.
+//!
+//! The binary self-validates the emitted trace (balanced B/E spans,
+//! non-decreasing timestamps, numeric counters) and exits non-zero if
+//! the check fails, so CI can run it as a smoke test.
+
+use zcomp_trace::{chrome, csv, log_info, tracer};
+
+struct Args {
+    experiment: String,
+    scale: usize,
+    out_dir: String,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut experiment = None;
+    let mut scale = 64;
+    let mut out_dir = "results".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = v.parse().expect("--scale needs an integer");
+                assert!(scale >= 1, "--scale must be >= 1");
+            }
+            "--out" => out_dir = it.next().expect("--out needs a path"),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => panic!("unknown argument: {other} (usage: trace_run <fig12|fullnet> [--scale N] [--out DIR])"),
+        }
+    }
+    Args {
+        experiment: experiment.expect("usage: trace_run <fig12|fullnet> [--scale N] [--out DIR]"),
+        scale,
+        out_dir,
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+
+    tracer::session_start();
+    match args.experiment.as_str() {
+        "fig12" => {
+            let result = zcomp::experiments::fig12::run(args.scale, 0.53);
+            let s = result.summary();
+            log_info!(
+                "fig12 traced: {} rows, zcomp speedup {:.2}x",
+                result.rows.len(),
+                s.zcomp_speedup
+            );
+        }
+        "fullnet" => {
+            let result = zcomp::experiments::fullnet::run(args.scale);
+            log_info!("fullnet traced: {} rows", result.rows.len());
+        }
+        other => panic!("unknown experiment: {other} (expected fig12 or fullnet)"),
+    }
+    let events = tracer::session_end();
+
+    let json = chrome::export(&events);
+    let counters = csv::counter_csv(&events);
+
+    let check = match chrome::validate(&json) {
+        Ok(check) => check,
+        Err(e) => {
+            eprintln!("trace_run: emitted trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let trace_path = format!("{}/trace_{}.json", args.out_dir, args.experiment);
+    let csv_path = format!("{}/counters_{}.csv", args.out_dir, args.experiment);
+    std::fs::write(&trace_path, &json).expect("write trace json");
+    std::fs::write(&csv_path, &counters).expect("write counter csv");
+
+    println!(
+        "trace_run: {} events ({} spans, {} counters, {} instants) over {} us",
+        check.events, check.spans, check.counters, check.instants, check.max_ts_us
+    );
+    let dropped = tracer::dropped_samples();
+    if dropped > 0 {
+        println!("trace_run: {dropped} samples dropped at the per-session volume ceiling");
+    }
+    println!("wrote {trace_path}");
+    println!("wrote {csv_path}");
+}

@@ -4,7 +4,8 @@
 //!
 //! * `--quick` — scale workloads down for a fast sanity run;
 //! * `--scale <N>` — explicit scale divisor (1 = the paper's full sizes);
-//! * `--json <path>` — also write the typed result as JSON.
+//! * `--json <path>` — also write the typed result as JSON;
+//! * `--quiet` — silence the leveled stderr logger (overrides `ZCOMP_LOG`).
 //!
 //! Each binary prints the Table-1 machine configuration first, then the
 //! figure's rows.
@@ -19,6 +20,8 @@ pub struct FigArgs {
     pub scale: usize,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Silence the stderr logger for the run.
+    pub quiet: bool,
 }
 
 impl FigArgs {
@@ -31,6 +34,7 @@ impl FigArgs {
         let mut out = FigArgs {
             scale: 1,
             json: None,
+            quiet: false,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -42,15 +46,23 @@ impl FigArgs {
                     assert!(out.scale >= 1, "--scale must be >= 1");
                 }
                 "--json" => out.json = Some(it.next().expect("--json needs a path")),
-                other => panic!("unknown argument: {other} (expected --quick/--scale/--json)"),
+                "--quiet" => out.quiet = true,
+                other => {
+                    panic!("unknown argument: {other} (expected --quick/--scale/--json/--quiet)")
+                }
             }
         }
         out
     }
 
-    /// Parses the process arguments (skipping argv[0]).
+    /// Parses the process arguments (skipping argv[0]) and applies the
+    /// logging choice (`--quiet` overrides `ZCOMP_LOG`).
     pub fn from_env() -> FigArgs {
-        FigArgs::parse(std::env::args().skip(1))
+        let args = FigArgs::parse(std::env::args().skip(1));
+        if args.quiet {
+            zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
+        }
+        args
     }
 
     /// Writes a serializable result to the `--json` path, if given.
@@ -58,7 +70,7 @@ impl FigArgs {
         if let Some(path) = &self.json {
             let text = serde_json::to_string_pretty(value).expect("results serialize");
             std::fs::write(path, text).expect("write json output");
-            eprintln!("wrote {path}");
+            zcomp_trace::log_info!("wrote {path}");
         }
     }
 }
@@ -86,6 +98,14 @@ mod tests {
         let a = FigArgs::parse(Vec::<String>::new());
         assert_eq!(a.scale, 1);
         assert_eq!(a.json, None);
+        assert!(!a.quiet);
+    }
+
+    #[test]
+    fn parse_quiet() {
+        let a = FigArgs::parse(["--quiet".to_string()]);
+        assert!(a.quiet);
+        assert_eq!(a.scale, 1);
     }
 
     #[test]

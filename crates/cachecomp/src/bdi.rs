@@ -101,6 +101,7 @@ fn try_option(line: &[u8; LINE_BYTES], opt: BdiOption) -> Option<usize> {
 ///
 /// Returns 1.0 for an empty buffer.
 pub fn bdi_ratio(data: &[f32]) -> f64 {
+    let _span = zcomp_trace::tracer::span("cachecomp", "bdi_ratio");
     let mut compressed = 0usize;
     let mut lines = 0usize;
     for line in lines_of(data) {
@@ -110,7 +111,11 @@ pub fn bdi_ratio(data: &[f32]) -> f64 {
     if lines == 0 {
         1.0
     } else {
-        (lines * LINE_BYTES) as f64 / compressed as f64
+        let ratio = (lines * LINE_BYTES) as f64 / compressed as f64;
+        if zcomp_trace::tracer::enabled() {
+            zcomp_trace::tracer::counter("cachecomp.bdi_ratio", ratio);
+        }
+        ratio
     }
 }
 

@@ -300,8 +300,16 @@ pub fn run(scale_divisor: usize) -> FaultCampaignResult {
 /// Panics if the configuration has no trials or a non-vector-multiple
 /// element count.
 pub fn run_config(cfg: &CampaignConfig) -> FaultCampaignResult {
+    let _span = zcomp_trace::tracer::span("experiment", "fault_campaign");
     assert!(cfg.trials > 0, "campaign needs at least one trial");
     assert_eq!(cfg.elements % 16, 0, "elements must be whole vectors");
+    zcomp_trace::log_info!(
+        "fault campaign: {} sites x {} rates x {} trials over {} elements",
+        cfg.sites.len(),
+        cfg.rates.len(),
+        cfg.trials,
+        cfg.elements
+    );
     let data = layer_data(cfg);
     let opts = cfg.degrade_opts();
 
@@ -314,7 +322,13 @@ pub fn run_config(cfg: &CampaignConfig) -> FaultCampaignResult {
     let mut cells = Vec::with_capacity(cfg.sites.len() * cfg.rates.len());
     for &site in &cfg.sites {
         for &rate in &cfg.rates {
-            cells.push(run_cell(cfg, site, rate, &data, &opts, &clean));
+            let cell = run_cell(cfg, site, rate, &data, &opts, &clean);
+            zcomp_trace::log_debug!(
+                "campaign cell {site:?} @ {rate:e}: {} hits, {} detected",
+                cell.stream_hits,
+                cell.detections
+            );
+            cells.push(cell);
         }
     }
     FaultCampaignResult {

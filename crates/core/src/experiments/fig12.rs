@@ -90,6 +90,11 @@ pub struct Fig12Result {
     /// L2 prefetcher effectiveness aggregated over the zcomp runs
     /// (§3.3 reports 98–99% accuracy, 94–97% coverage).
     pub zcomp_prefetch: PrefetchStats,
+    /// Per-cell metrics (counters, gauges, latency histograms) collected
+    /// while the trace feature is compiled in. Absent from trace-free
+    /// builds so their JSON reports stay byte-identical.
+    #[cfg(feature = "trace")]
+    pub metrics: zcomp_trace::metrics::MetricsSummary,
 }
 
 /// Aggregate summary in the shape of the paper's §5.2 text.
@@ -218,6 +223,9 @@ pub fn run_configs(
     scale_divisor: usize,
     sparsity: f64,
 ) -> Fig12Result {
+    let _span = zcomp_trace::tracer::span("experiment", "fig12");
+    #[cfg(feature = "trace")]
+    let mut registry = zcomp_trace::metrics::MetricsRegistry::new();
     let mut rows = Vec::with_capacity(configs.len());
     let mut zcomp_prefetch = PrefetchStats::default();
     for (i, config) in configs.iter().enumerate() {
@@ -225,6 +233,9 @@ pub fn run_configs(
         let nnz = nnz_synthetic(elements, sparsity, 6.0, 0xF16_5EED ^ ((i as u64) << 8));
         let mut cells = Vec::with_capacity(SCHEMES.len());
         for scheme in SCHEMES {
+            let _cell_span = zcomp_trace::tracer::span_owned("experiment", || {
+                format!("fig12/{}/{scheme:?}", config.name)
+            });
             let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
             let result = run_relu(&mut machine, scheme, &nnz, &ReluOpts::default());
             if scheme == ReluScheme::Zcomp {
@@ -233,6 +244,13 @@ pub fn run_configs(
             // Traffic and cycles over the measured (steady-state) window
             // only — the warm-up iteration's compulsory misses are the
             // caches' problem, as in DeepBench itself.
+            #[cfg(feature = "trace")]
+            {
+                registry.incr("fig12.cells", 1);
+                registry.observe("fig12.cycles", result.total_cycles());
+                registry.observe("fig12.dram_bytes", result.traffic.dram_bytes as f64);
+                registry.gauge("fig12.compression_ratio", result.compression_ratio());
+            }
             cells.push(Fig12Cell {
                 scheme,
                 onchip_bytes: result.traffic.onchip_bytes(),
@@ -250,6 +268,8 @@ pub fn run_configs(
     Fig12Result {
         rows,
         zcomp_prefetch,
+        #[cfg(feature = "trace")]
+        metrics: registry.summary(),
     }
 }
 

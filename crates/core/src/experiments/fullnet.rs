@@ -88,6 +88,11 @@ impl FullNetRow {
 pub struct FullNetResult {
     /// All (network, mode) rows.
     pub rows: Vec<FullNetRow>,
+    /// Per-run metrics (counters, gauges, latency histograms) collected
+    /// while the trace feature is compiled in. Absent from trace-free
+    /// builds so their JSON reports stay byte-identical.
+    #[cfg(feature = "trace")]
+    pub metrics: zcomp_trace::metrics::MetricsSummary,
 }
 
 /// Aggregate summary in the shape of the paper's §5.3 text.
@@ -184,6 +189,9 @@ impl FullNetResult {
 /// `batch_divisor` scales training batches down for quick runs (1 = the
 /// paper's sizes). Inference always uses batch 4, the paper's choice.
 pub fn run(batch_divisor: usize) -> FullNetResult {
+    let _span = zcomp_trace::tracer::span("experiment", "fullnet");
+    #[cfg(feature = "trace")]
+    let mut registry = zcomp_trace::metrics::MetricsRegistry::new();
     let mut rows = Vec::new();
     for model in ModelId::ALL {
         for mode in [Mode::Training, Mode::Inference] {
@@ -195,6 +203,9 @@ pub fn run(batch_divisor: usize) -> FullNetResult {
             let profile = SparsityModel::default().profile(&net, 50);
             let mut cells = Vec::new();
             for scheme in [Scheme::None, Scheme::Avx512Comp, Scheme::Zcomp] {
+                let _run_span = zcomp_trace::tracer::span_owned("experiment", || {
+                    format!("fullnet/{model}/{mode}/{scheme:?}")
+                });
                 let mut machine = Machine::new(SimConfig::table1(), UopTable::skylake_x());
                 let result = run_network(
                     &mut machine,
@@ -206,6 +217,19 @@ pub fn run(batch_divisor: usize) -> FullNetResult {
                         ..NetworkExecOpts::default()
                     },
                 );
+                #[cfg(feature = "trace")]
+                {
+                    registry.incr("fullnet.runs", 1);
+                    registry.observe("fullnet.wall_cycles", result.summary.wall_cycles);
+                    registry.observe(
+                        "fullnet.dram_bytes",
+                        result.summary.traffic.dram_bytes as f64,
+                    );
+                    registry.gauge(
+                        "fullnet.memory_fraction",
+                        result.summary.breakdown.memory_fraction(),
+                    );
+                }
                 cells.push(FullNetCell {
                     scheme,
                     onchip_bytes: result.summary.traffic.onchip_bytes(),
@@ -222,7 +246,11 @@ pub fn run(batch_divisor: usize) -> FullNetResult {
             });
         }
     }
-    FullNetResult { rows }
+    FullNetResult {
+        rows,
+        #[cfg(feature = "trace")]
+        metrics: registry.summary(),
+    }
 }
 
 #[cfg(test)]

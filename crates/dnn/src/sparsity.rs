@@ -95,6 +95,7 @@ impl Default for SparsityModel {
 impl SparsityModel {
     /// Computes the per-layer profile of `net` at `epoch` (0-based).
     pub fn profile(&self, net: &Network, epoch: usize) -> SparsityProfile {
+        let _span = zcomp_trace::tracer::span("dnn", "sparsity_profile");
         let depth = net.layers.len().max(1) as f64;
         let epoch_scale =
             1.0 - (1.0 - self.epoch_start_factor) * (-(epoch as f64) / self.epoch_tau).exp();

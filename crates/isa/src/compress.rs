@@ -86,6 +86,7 @@ pub fn compress_f32_with(
     cond: CompareCond,
     mode: HeaderMode,
 ) -> Result<CompressedStream, ZcompError> {
+    let _span = zcomp_trace::tracer::span("isa", "compress_f32");
     let lanes = ElemType::F32.lanes();
     if !data.len().is_multiple_of(lanes) {
         return Err(ZcompError::PartialVector {
@@ -100,7 +101,12 @@ pub fn compress_f32_with(
         // typed error rather than panicking on a fallible stream operation.
         w.write_vector(&v, cond)?;
     }
-    Ok(w.finish())
+    let stream = w.finish();
+    if zcomp_trace::tracer::enabled() {
+        zcomp_trace::tracer::counter("isa.compression_ratio", stream.compression_ratio());
+        zcomp_trace::tracer::counter("isa.compressed_bytes", stream.compressed_bytes() as f64);
+    }
+    Ok(stream)
 }
 
 /// Expands a compressed stream back into an `f32` vector.
@@ -112,6 +118,7 @@ pub fn compress_f32_with(
 ///
 /// Returns [`ZcompError::Truncated`] if the stream is malformed.
 pub fn expand_f32(stream: &CompressedStream) -> Result<Vec<f32>, ZcompError> {
+    let _span = zcomp_trace::tracer::span("isa", "expand_f32");
     let mut out = Vec::with_capacity(stream.elements());
     let mut r = stream.reader();
     while let Some(v) = r.read_vector()? {
@@ -128,6 +135,7 @@ pub fn expand_f32(stream: &CompressedStream) -> Result<Vec<f32>, ZcompError> {
 /// Returns [`ZcompError::DestinationTooSmall`] if `dst` cannot hold the
 /// stream's elements, or [`ZcompError::Truncated`] for a malformed stream.
 pub fn expand_f32_into(stream: &CompressedStream, dst: &mut [f32]) -> Result<usize, ZcompError> {
+    let _span = zcomp_trace::tracer::span("isa", "expand_f32_into");
     let needed = stream.elements();
     if dst.len() < needed {
         return Err(ZcompError::DestinationTooSmall {

@@ -245,6 +245,7 @@ pub fn run_layer_faulted(
                 if attempts > opts.max_retries {
                     break;
                 }
+                zcomp_trace::tracer::instant("kernels", "degrade.retry");
             }
         }
     }
@@ -268,6 +269,10 @@ pub fn run_layer_faulted(
         None => {
             // Uncompressed fallback: re-read the pristine input, recompute
             // with the avx512-vec path, store the output uncompressed.
+            zcomp_trace::tracer::instant("kernels", "degrade.fallback");
+            zcomp_trace::log_warn!(
+                "stream corruption persisted across {retries} retry(ies): uncompressed fallback"
+            );
             let unc = pristine.uncompressed_bytes() as u64;
             let x_region = Region {
                 base: X_BASE,

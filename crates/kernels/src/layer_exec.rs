@@ -330,6 +330,7 @@ pub fn stream_feature_map_checked(
     // Retry once: transient (in-flight) corruption clears on a re-read;
     // array corruption does not.
     degrade.retries += 1;
+    zcomp_trace::tracer::instant("kernels", "degrade.retry");
     stream_feature_map(
         machine,
         threads,
@@ -348,6 +349,11 @@ pub fn stream_feature_map_checked(
     let persists = hits.iter().any(|e| !e.site.is_transient()) || !retry_hits.is_empty();
     if persists {
         degrade.fallbacks += 1;
+        zcomp_trace::tracer::instant("kernels", "degrade.fallback");
+        zcomp_trace::log_warn!(
+            "persistent corruption on feature map at {:#x}: falling back to uncompressed re-read",
+            data_region.base
+        );
         stream_feature_map(
             machine,
             threads,

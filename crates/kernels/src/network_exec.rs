@@ -163,6 +163,7 @@ fn run_network_inner(
     opts: &NetworkExecOpts,
     mut degrade: Option<&mut DegradeSummary>,
 ) -> NetworkRunResult {
+    let _span = zcomp_trace::tracer::span("kernels", "run_network");
     assert_eq!(
         profile.per_layer.len(),
         net.layers.len(),
@@ -226,6 +227,8 @@ fn run_network_inner(
 
     // ---- forward pass ----
     for (i, layer) in net.layers.iter().enumerate() {
+        let _layer_span =
+            zcomp_trace::tracer::span_owned("kernels", move || format!("fwd-layer-{i}"));
         // Input: the previous layer's stored output, or the raw images.
         let (in_region, in_headers, in_alloc, in_sparsity, in_scheme) = if i == 0 {
             (
@@ -275,6 +278,8 @@ fn run_network_inner(
     // ---- backward pass (training) ----
     if let Some((grad_a, grad_b)) = grad_regions {
         for (i, layer) in net.layers.iter().enumerate().rev() {
+            let _layer_span =
+                zcomp_trace::tracer::span_owned("kernels", move || format!("bwd-layer-{i}"));
             let out_alloc = layer.output.bytes() as u64;
             let out_sparsity = profile.per_layer[i];
             let (gh_a, gh_b) = match grad_headers {

@@ -140,6 +140,7 @@ pub fn run_relu(
     nnz: &[u8],
     opts: &ReluOpts,
 ) -> ReluRunResult {
+    let _span = zcomp_trace::tracer::span("kernels", "run_relu");
     assert!(
         opts.threads > 0 && opts.threads <= machine.threads(),
         "thread count must be in 1..=cores"

@@ -45,6 +45,8 @@ pub struct DramModel {
     row_stats: RowBufferStats,
     /// Optional fault source rolled once per 64-byte burst transferred.
     fault_probe: Option<FaultProbe>,
+    /// Transfers seen, for sampled trace counters.
+    trace_tick: u64,
 }
 
 impl DramModel {
@@ -58,6 +60,7 @@ impl DramModel {
             open_rows: vec![None; cfg.channels * cfg.banks_per_channel.max(1)],
             row_stats: RowBufferStats::default(),
             fault_probe: None,
+            trace_tick: 0,
         }
     }
 
@@ -99,6 +102,13 @@ impl DramModel {
     pub fn record_transfer(&mut self, addr: u64, bytes: u64) -> u32 {
         let ch = self.channel_of(addr);
         self.channel_bytes[ch] += bytes;
+        if zcomp_trace::tracer::enabled() {
+            self.trace_tick += 1;
+            // Per-transfer samples would swamp a trace; sample sparsely.
+            if self.trace_tick.is_multiple_of(8192) {
+                zcomp_trace::tracer::counter("sim.dram_total_bytes", self.total_bytes() as f64);
+            }
+        }
         if let Some(p) = &mut self.fault_probe {
             // One trial per 64-byte burst of the transfer.
             let bursts = bytes.div_ceil(LINE_BYTES as u64).max(1);

@@ -94,6 +94,12 @@ pub struct Machine {
     total_wall: f64,
     total_breakdown: CycleBreakdown,
     access_buf: Vec<MemAccess>,
+    /// Open tracing span of the in-progress phase; phases begin implicitly
+    /// at the first activity after the previous `end_phase`.
+    #[cfg(feature = "trace")]
+    phase_span: Option<zcomp_trace::tracer::SpanGuard>,
+    #[cfg(feature = "trace")]
+    phase_index: u64,
 }
 
 impl Machine {
@@ -112,8 +118,28 @@ impl Machine {
             total_wall: 0.0,
             total_breakdown: CycleBreakdown::default(),
             access_buf: Vec::with_capacity(4),
+            #[cfg(feature = "trace")]
+            phase_span: None,
+            #[cfg(feature = "trace")]
+            phase_index: 0,
         }
     }
+
+    /// Opens the current phase's span on the first activity after a
+    /// barrier. Compiled out without the `trace` feature.
+    #[cfg(feature = "trace")]
+    fn trace_phase_open(&mut self) {
+        if self.phase_span.is_none() && zcomp_trace::tracer::enabled() {
+            let index = self.phase_index;
+            self.phase_span = Some(zcomp_trace::tracer::span_owned("sim", move || {
+                format!("phase-{index}")
+            }));
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_phase_open(&mut self) {}
 
     /// The machine configuration.
     pub fn config(&self) -> &SimConfig {
@@ -163,6 +189,7 @@ impl Machine {
     ///
     /// Panics if `thread` is out of range.
     pub fn exec(&mut self, thread: usize, instr: &Instr) {
+        self.trace_phase_open();
         let acct = &mut self.threads[thread];
         instr.add_uops(&mut acct.uops);
         acct.instructions += 1;
@@ -183,6 +210,7 @@ impl Machine {
     /// Injects `cycles` of analytically-modelled compute time (dense
     /// convolution/GEMM math whose individual FMAs are not traced).
     pub fn charge_compute(&mut self, thread: usize, cycles: f64) {
+        self.trace_phase_open();
         self.extra_compute[thread] += cycles;
     }
 
@@ -190,6 +218,7 @@ impl Machine {
     /// instructions — used by the bulk layer executor, where a loop body's
     /// counts are known in closed form.
     pub fn add_uops(&mut self, thread: usize, counts: &zcomp_isa::uops::UopCounts, instrs: u64) {
+        self.trace_phase_open();
         let acct = &mut self.threads[thread];
         acct.uops.merge(counts);
         acct.instructions += instrs;
@@ -199,12 +228,14 @@ impl Machine {
     /// Performs a demand read without an owning instruction (used by the
     /// analytic layer executor for bulk weight/feature streams).
     pub fn raw_read(&mut self, thread: usize, addr: u64, bytes: u32) {
+        self.trace_phase_open();
         let r = self.mem.read(thread, addr, bytes);
         self.threads[thread].access.merge(&r);
     }
 
     /// Performs a demand write without an owning instruction.
     pub fn raw_write(&mut self, thread: usize, addr: u64, bytes: u32) {
+        self.trace_phase_open();
         let r = self.mem.write(thread, addr, bytes);
         self.threads[thread].access.merge(&r);
     }
@@ -269,6 +300,26 @@ impl Machine {
             breakdown.sync += sync;
         }
 
+        zcomp_trace::log_debug!(
+            "phase closed: {wall:.0} wall cycles, {dram_bytes} DRAM bytes, {l2_fill} L2-fill bytes"
+        );
+        #[cfg(feature = "trace")]
+        {
+            if zcomp_trace::tracer::enabled() {
+                use zcomp_trace::tracer::counter;
+                counter("sim.phase_wall_cycles", wall);
+                counter("sim.phase_dram_bytes", dram_bytes as f64);
+                counter("sim.phase_l2_fill_bytes", l2_fill as f64);
+                counter("sim.phase_l3_fill_bytes", l3_fill as f64);
+                counter("sim.dram_utilization", self.mem.dram().utilization(wall));
+                let pf = self.mem.l2_prefetch_stats();
+                counter("sim.prefetch_accuracy", pf.accuracy());
+                counter("sim.prefetch_coverage", pf.coverage());
+            }
+            self.phase_index += 1;
+            // Dropping the guard emits the phase's end event.
+            self.phase_span = None;
+        }
         self.total_wall += wall;
         self.total_breakdown.merge(&breakdown);
         for t in &mut self.threads {

@@ -96,6 +96,8 @@ pub struct MemorySystem {
     pf_scratch: Vec<u64>,
     /// Detections reported back by the consumer, per fault site.
     fault_detected: [u64; FaultSite::COUNT],
+    /// Demand line accesses seen, for sampled trace counters.
+    trace_tick: u64,
 }
 
 impl MemorySystem {
@@ -120,6 +122,7 @@ impl MemorySystem {
             traffic: TrafficStats::new(),
             pf_scratch: Vec::with_capacity(16),
             fault_detected: [0; FaultSite::COUNT],
+            trace_tick: 0,
             cfg,
         }
     }
@@ -301,6 +304,21 @@ impl MemorySystem {
             result.lines += 1;
             result.served[served as usize] += 1;
             result.latency_sum += u64::from(latency);
+        }
+        if zcomp_trace::tracer::enabled() {
+            self.trace_tick += result.lines as u64;
+            // Per-line samples would swamp a trace; emit the cumulative
+            // fill counters roughly every 8192 demand lines.
+            if self.trace_tick.is_multiple_of(8192) {
+                zcomp_trace::tracer::counter(
+                    "sim.l2_fill_bytes",
+                    self.traffic.l2_fill_bytes as f64,
+                );
+                zcomp_trace::tracer::counter(
+                    "sim.l3_fill_bytes",
+                    self.traffic.l3_fill_bytes as f64,
+                );
+            }
         }
         result
     }

@@ -39,6 +39,8 @@ pub struct Mesh {
     /// transient: the flip happens to a flit in flight, so a retried
     /// transfer reads clean data.
     fault_probe: Option<FaultProbe>,
+    /// Faulted traversals seen, for sampled trace counters.
+    trace_tick: u64,
 }
 
 impl Mesh {
@@ -48,6 +50,7 @@ impl Mesh {
         Mesh {
             cfg,
             fault_probe: None,
+            trace_tick: 0,
         }
     }
 
@@ -76,7 +79,15 @@ impl Mesh {
         if let Some(p) = &mut self.fault_probe {
             p.observe(addr);
         }
-        self.l3_round_trip_cycles(core, addr)
+        let cycles = self.l3_round_trip_cycles(core, addr);
+        if zcomp_trace::tracer::enabled() {
+            self.trace_tick += 1;
+            // Per-traversal samples would swamp a trace; sample sparsely.
+            if self.trace_tick.is_multiple_of(8192) {
+                zcomp_trace::tracer::counter("sim.noc_round_trip_cycles", f64::from(cycles));
+            }
+        }
+        cycles
     }
 
     /// Number of tiles in the mesh.

@@ -21,6 +21,9 @@ use crate::stats::PrefetchStats;
 /// page: hardware stream prefetchers do not cross page boundaries).
 const REGION_BYTES: u64 = 4096;
 
+/// Per-event counter samples would swamp a trace; sample every Nth.
+const TRACE_SAMPLE_EVERY: u64 = 8192;
+
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct StreamEntry {
     region: u64,
@@ -77,6 +80,9 @@ impl StreamPrefetcher {
     /// cache's `first_demand_of_prefetch` outcome).
     pub fn record_useful(&mut self) {
         self.stats.useful += 1;
+        if self.stats.useful.is_multiple_of(TRACE_SAMPLE_EVERY) {
+            zcomp_trace::tracer::counter("sim.prefetch_useful", self.stats.useful as f64);
+        }
     }
 
     /// Records a demand miss that the prefetcher could in principle have
@@ -139,6 +145,12 @@ impl StreamPrefetcher {
                     }
                     out.push(target as u64 * LINE_BYTES as u64);
                     self.stats.issued += 1;
+                    if self.stats.issued.is_multiple_of(TRACE_SAMPLE_EVERY) {
+                        zcomp_trace::tracer::counter(
+                            "sim.prefetch_issued",
+                            self.stats.issued as f64,
+                        );
+                    }
                     e.issued_until = Some(target);
                 }
             }

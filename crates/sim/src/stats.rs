@@ -286,6 +286,39 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_zero_denominators_are_zero_not_nan() {
+        // Regression guards: every ratio must be exactly 0.0 (not NaN or
+        // a panic) when its denominator is zero.
+        let empty = PrefetchStats::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.coverage(), 0.0);
+
+        // Prefetches issued into a workload with no would-be misses.
+        let no_baseline = PrefetchStats {
+            issued: 4,
+            useful: 2,
+            demand_misses_baseline: 0,
+        };
+        assert_eq!(no_baseline.coverage(), 0.0);
+        assert!((no_baseline.accuracy() - 0.5).abs() < 1e-12);
+
+        // Misses recorded but the prefetcher never fired.
+        let never_issued = PrefetchStats {
+            issued: 0,
+            useful: 0,
+            demand_misses_baseline: 8,
+        };
+        assert_eq!(never_issued.accuracy(), 0.0);
+        assert_eq!(never_issued.coverage(), 0.0);
+
+        // Merging empties keeps the ratios well-defined.
+        let mut merged = PrefetchStats::default();
+        merged.merge(&PrefetchStats::default());
+        assert_eq!(merged.accuracy(), 0.0);
+        assert_eq!(merged.coverage(), 0.0);
+    }
+
+    #[test]
     fn fault_stats_counts_and_rate() {
         let mut s = FaultStats::default();
         s.record_injection(FaultSite::L1Line);

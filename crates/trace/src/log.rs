@@ -1,0 +1,197 @@
+//! Leveled stderr logging, controlled by `ZCOMP_LOG` or `--quiet`.
+//!
+//! The level is read lazily from the `ZCOMP_LOG` environment variable on
+//! first use (default [`Level::Info`]) and can be overridden at any time
+//! with [`set_level`] — that is what the figure binaries' `--quiet` flag
+//! does. Call sites use the [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info) and
+//! [`log_debug!`](crate::log_debug) macros; formatting is deferred until
+//! the level check has passed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from silent to most verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No output at all (`--quiet`).
+    Off = 0,
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Degraded-but-continuing conditions (e.g. a layer fell back).
+    Warn = 2,
+    /// One-line progress notes (default).
+    Info = 3,
+    /// Per-phase detail for debugging the simulator.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses a level name as found in `ZCOMP_LOG`.
+    ///
+    /// Accepts the names `off`/`error`/`warn`/`info`/`debug` in any case,
+    /// `warning` as an alias, and the numerals `0`–`4`. Returns `None` for
+    /// anything else.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "quiet" | "0" => Some(Level::Off),
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+/// Sentinel meaning "not initialised yet, read `ZCOMP_LOG` first".
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active level, initialising from `ZCOMP_LOG` on first call.
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return Level::from_u8(raw);
+    }
+    let initial = std::env::var("ZCOMP_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    // A racing initialiser computes the same value; last store wins.
+    LEVEL.store(initial as u8, Ordering::Relaxed);
+    initial
+}
+
+/// Overrides the level for the rest of the process (e.g. `--quiet`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `at` would currently be printed.
+pub fn enabled(at: Level) -> bool {
+    at != Level::Off && at <= level()
+}
+
+/// Prints one record to stderr if the level passes. Prefer the macros.
+pub fn log(at: Level, args: fmt::Arguments<'_>) {
+    if enabled(at) {
+        eprintln!("[zcomp:{at}] {args}");
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => { $crate::log::log($crate::log::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => { $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => { $crate::log::log($crate::log::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => { $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_any_case() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("Warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("quiet"), Some(Level::Off));
+    }
+
+    #[test]
+    fn parse_accepts_numerals() {
+        assert_eq!(Level::parse("0"), Some(Level::Off));
+        assert_eq!(Level::parse("1"), Some(Level::Error));
+        assert_eq!(Level::parse("2"), Some(Level::Warn));
+        assert_eq!(Level::parse("3"), Some(Level::Info));
+        assert_eq!(Level::parse("4"), Some(Level::Debug));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse("5"), None);
+        assert_eq!(Level::parse("-1"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Tests share the process-global level; restore it afterwards.
+        let before = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        assert!(!enabled(Level::Off), "Off is never printable");
+        set_level(before);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
+            assert_eq!(Level::parse(&l.to_string()), Some(l));
+        }
+    }
+}

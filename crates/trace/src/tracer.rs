@@ -1,0 +1,389 @@
+//! Span / instant / counter event recording, behind the `trace` feature.
+//!
+//! Call sites across the workspace are unconditional — they always call
+//! [`span`], [`instant`] or [`counter`]. With the `trace` cargo feature
+//! off those functions are empty `#[inline]` stubs and [`SpanGuard`] is a
+//! zero-sized type without a `Drop` impl, so the whole facility vanishes
+//! at compile time. With the feature on, recording is still gated by a
+//! runtime session flag: nothing is buffered until [`session_start`] runs,
+//! and [`session_end`] returns the recorded events for export.
+//!
+//! Recording is lock-free-ish: each thread appends to a `thread_local`
+//! buffer and only takes the global sink lock when the buffer fills (or at
+//! session end). Timestamps come from one process-wide strictly-increasing
+//! microsecond clock, so an exported trace is totally ordered and
+//! Perfetto-safe even across threads. Closing a span is the guard's
+//! `Drop`, so begin/end pairs are balanced by construction as long as
+//! every guard is dropped before `session_end` — the workspace's
+//! simulator is single-threaded, which also means `session_end` (which
+//! flushes only the calling thread's buffer) sees every event.
+
+/// What kind of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span begin (`ph: "B"`).
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+    /// Instant event (`ph: "i"`).
+    Instant,
+    /// Counter sample (`ph: "C"`); `value` carries the sample.
+    Counter,
+}
+
+impl EventKind {
+    /// The Chrome `trace_event` phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Microseconds on the process-wide strictly-increasing clock.
+    pub ts_us: u64,
+    /// Recording thread (small dense ids, 1-based).
+    pub tid: u32,
+    /// Category (crate-level: `"sim"`, `"isa"`, `"kernels"`, ...).
+    pub cat: &'static str,
+    /// Event name.
+    pub name: String,
+    /// Sample value (counters only; 0.0 otherwise).
+    pub value: f64,
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{Event, EventKind};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static LAST_TS: AtomicU64 = AtomicU64::new(0);
+    static SINK: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+    static SAMPLES: AtomicU64 = AtomicU64::new(0);
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+    /// Hard ceiling on sampled (counter + instant) events per session.
+    /// Call sites already sample their hot paths, but a full-size run
+    /// executes for minutes and even strided samples add up — beyond this
+    /// many, further samples are counted and discarded so memory stays
+    /// bounded no matter the workload size. Spans are never dropped:
+    /// their count is structural (layers x schemes x phases), not
+    /// proportional to simulated traffic, and dropping one would
+    /// unbalance the trace.
+    const MAX_SAMPLES: u64 = 1 << 20;
+
+    /// Admits one counter/instant sample, or records it as dropped.
+    fn sample_admitted() -> bool {
+        if SAMPLES.fetch_add(1, Ordering::Relaxed) < MAX_SAMPLES {
+            true
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    pub fn dropped_samples() -> u64 {
+        DROPPED.load(Ordering::Relaxed)
+    }
+
+    fn start_instant() -> &'static Instant {
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now)
+    }
+
+    /// Local buffer size that triggers a flush to the global sink.
+    const FLUSH_AT: usize = 8192;
+
+    thread_local! {
+        static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        static BUF: RefCell<Vec<Event>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Strictly-increasing microsecond timestamp.
+    fn next_ts() -> u64 {
+        let now = start_instant().elapsed().as_micros() as u64;
+        LAST_TS
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
+                Some(now.max(last + 1))
+            })
+            .expect("fetch_update closure always returns Some")
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn session_start() {
+        SINK.lock().expect("trace sink lock").clear();
+        BUF.with(|b| b.borrow_mut().clear());
+        SAMPLES.store(0, Ordering::Relaxed);
+        DROPPED.store(0, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn session_end() -> Vec<Event> {
+        ENABLED.store(false, Ordering::Relaxed);
+        let mut events = {
+            let mut sink = SINK.lock().expect("trace sink lock");
+            std::mem::take(&mut *sink)
+        };
+        BUF.with(|b| events.append(&mut b.borrow_mut()));
+        // The shared clock makes timestamps unique, so this totally orders
+        // events even when several threads' buffers interleaved.
+        events.sort_by_key(|e| e.ts_us);
+        events
+    }
+
+    fn push(kind: EventKind, cat: &'static str, name: String, value: f64) {
+        let ev = Event {
+            kind,
+            ts_us: next_ts(),
+            tid: TID.with(|t| *t),
+            cat,
+            name,
+            value,
+        };
+        BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            buf.push(ev);
+            if buf.len() >= FLUSH_AT {
+                SINK.lock().expect("trace sink lock").append(&mut buf);
+            }
+        });
+    }
+
+    /// RAII span: emits the end event when dropped.
+    #[must_use = "a span closes when the guard drops; bind it with `let _span = ...`"]
+    pub struct SpanGuard {
+        open: Option<(&'static str, String)>,
+    }
+
+    impl std::fmt::Debug for SpanGuard {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match &self.open {
+                Some((cat, name)) => write!(f, "SpanGuard({cat}:{name})"),
+                None => f.write_str("SpanGuard(inactive)"),
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some((cat, name)) = self.open.take() {
+                // Emit the end even if the session flag already cleared:
+                // a dangling begin would unbalance the trace.
+                push(EventKind::End, cat, name, 0.0);
+            }
+        }
+    }
+
+    pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+        span_owned(cat, || name.to_string())
+    }
+
+    pub fn span_owned(cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { open: None };
+        }
+        let name = name();
+        push(EventKind::Begin, cat, name.clone(), 0.0);
+        SpanGuard {
+            open: Some((cat, name)),
+        }
+    }
+
+    pub fn instant(cat: &'static str, name: &'static str) {
+        if enabled() && sample_admitted() {
+            push(EventKind::Instant, cat, name.to_string(), 0.0);
+        }
+    }
+
+    pub fn counter(name: &'static str, value: f64) {
+        if enabled() && sample_admitted() {
+            push(EventKind::Counter, "counter", name.to_string(), value);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::Event;
+
+    /// Zero-sized stand-in; has no `Drop`, so it costs nothing.
+    #[must_use = "a span closes when the guard drops; bind it with `let _span = ...`"]
+    #[derive(Debug)]
+    pub struct SpanGuard;
+
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn session_start() {}
+
+    #[inline(always)]
+    pub fn session_end() -> Vec<Event> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn span(_cat: &'static str, _name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn span_owned(_cat: &'static str, _name: impl FnOnce() -> String) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn instant(_cat: &'static str, _name: &'static str) {}
+
+    #[inline(always)]
+    pub fn counter(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn dropped_samples() -> u64 {
+        0
+    }
+}
+
+pub use imp::SpanGuard;
+
+/// Whether a tracing session is currently recording. Always `false` when
+/// the `trace` feature is off — use this to skip computing expensive
+/// sample values.
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// Starts (or restarts) a recording session, discarding buffered events.
+pub fn session_start() {
+    imp::session_start()
+}
+
+/// Stops recording and returns the session's events, ordered by
+/// timestamp. Empty when the `trace` feature is off.
+pub fn session_end() -> Vec<Event> {
+    imp::session_end()
+}
+
+/// Opens a span with a static name; the returned guard closes it on drop.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    imp::span(cat, name)
+}
+
+/// Opens a span with a lazily-built name. The closure only runs while a
+/// session is recording, so dynamic names cost nothing otherwise.
+pub fn span_owned(cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+    imp::span_owned(cat, name)
+}
+
+/// Records an instant event.
+pub fn instant(cat: &'static str, name: &'static str) {
+    imp::instant(cat, name)
+}
+
+/// Records one counter sample.
+pub fn counter(name: &'static str, value: f64) {
+    imp::counter(name, value)
+}
+
+/// Counter/instant samples discarded this session because the per-session
+/// volume ceiling was reached. Zero when the `trace` feature is off.
+pub fn dropped_samples() -> u64 {
+    imp::dropped_samples()
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The tracer is process-global; serialize the tests that use it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_session_records_nothing() {
+        let _g = lock();
+        session_start();
+        drop(session_end());
+        // Now disabled again.
+        let _span = span("t", "ignored");
+        instant("t", "ignored");
+        counter("t.ignored", 1.0);
+        session_start();
+        let events = session_end();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn spans_balance_and_timestamps_increase() {
+        let _g = lock();
+        session_start();
+        {
+            let _outer = span("t", "outer");
+            {
+                let _inner = span_owned("t", || "inner".to_string());
+                counter("t.count", 42.0);
+            }
+            instant("t", "tick");
+        }
+        let events = session_end();
+        assert_eq!(events.len(), 6);
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Begin,
+                EventKind::Begin,
+                EventKind::Counter,
+                EventKind::End,
+                EventKind::Instant,
+                EventKind::End,
+            ]
+        );
+        for w in events.windows(2) {
+            assert!(w[0].ts_us < w[1].ts_us, "strictly increasing timestamps");
+        }
+        assert_eq!(events[2].value, 42.0);
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[3].name, "inner");
+    }
+
+    #[test]
+    fn span_name_closure_is_lazy_when_disabled() {
+        let _g = lock();
+        // No session: the closure must not run.
+        let _span = span_owned("t", || unreachable!("name built while disabled"));
+    }
+
+    #[test]
+    fn session_restart_discards_previous_events() {
+        let _g = lock();
+        session_start();
+        instant("t", "old");
+        session_start();
+        instant("t", "new");
+        let events = session_end();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "new");
+    }
+}

@@ -5,7 +5,37 @@ use zcomp_isa::instr::Instr;
 use zcomp_isa::uops::UopTable;
 use zcomp_sim::config::SimConfig;
 use zcomp_sim::engine::{Machine, PhaseMode};
+use zcomp_sim::faults::FaultSite;
 use zcomp_sim::hierarchy::{MemorySystem, ServedBy};
+use zcomp_sim::stats::{CacheStats, FaultStats, TrafficStats};
+
+fn traffic_of(v: &[u64]) -> TrafficStats {
+    TrafficStats {
+        core_read_bytes: v[0],
+        core_write_bytes: v[1],
+        l2_fill_bytes: v[2],
+        l3_fill_bytes: v[3],
+        dram_bytes: v[4],
+    }
+}
+
+fn cache_of(v: &[u64]) -> CacheStats {
+    CacheStats {
+        hits: v[0],
+        misses: v[1],
+        prefetch_hits: v[2],
+        writebacks: v[3],
+    }
+}
+
+fn faults_of(v: &[u64]) -> FaultStats {
+    let mut s = FaultStats::default();
+    for (i, &n) in v.iter().enumerate() {
+        s.injected[i % FaultSite::COUNT] = n;
+        s.detected[i % FaultSite::COUNT] = n / 2;
+    }
+    s
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -67,6 +97,68 @@ proptest! {
         prop_assert!(phase.breakdown.memory >= 0.0);
         prop_assert!(phase.breakdown.sync >= 0.0);
         prop_assert!(phase.wall_cycles > 0.0);
+    }
+
+    #[test]
+    fn traffic_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1 << 40, 5),
+        b in proptest::collection::vec(0u64..1 << 40, 5),
+        c in proptest::collection::vec(0u64..1 << 40, 5),
+    ) {
+        let (a, b, c) = (traffic_of(&a), traffic_of(&b), traffic_of(&c));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        let mut ba = b;
+        ba.merge(&a);
+        let mut ab = a;
+        ab.merge(&b);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(left.onchip_bytes(), a.onchip_bytes() + b.onchip_bytes() + c.onchip_bytes());
+    }
+
+    #[test]
+    fn cache_merge_is_associative(
+        a in proptest::collection::vec(0u64..1 << 40, 4),
+        b in proptest::collection::vec(0u64..1 << 40, 4),
+        c in proptest::collection::vec(0u64..1 << 40, 4),
+    ) {
+        let (a, b, c) = (cache_of(&a), cache_of(&b), cache_of(&c));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(left.accesses(), a.accesses() + b.accesses() + c.accesses());
+    }
+
+    #[test]
+    fn fault_merge_is_associative(
+        a in proptest::collection::vec(0u64..1 << 40, FaultSite::COUNT),
+        b in proptest::collection::vec(0u64..1 << 40, FaultSite::COUNT),
+        c in proptest::collection::vec(0u64..1 << 40, FaultSite::COUNT),
+    ) {
+        let (a, b, c) = (faults_of(&a), faults_of(&b), faults_of(&c));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(
+            left.total_injected(),
+            a.total_injected() + b.total_injected() + c.total_injected()
+        );
     }
 
     #[test]
