@@ -1,0 +1,86 @@
+//! Captures memory traces for a sweep into the persistent trace cache.
+//!
+//! Runs the Fig. 12 or full-network sweep with the trace cache enabled, so
+//! every cold cell leaves a `.ztrc` file behind; subsequent `replay_run`
+//! invocations (or warm sweeps) replay those files instead of
+//! re-simulating. With `--refresh` existing traces are discarded first.
+//!
+//! ```text
+//! capture_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
+//!             [--refresh] [--quiet]
+//! ```
+
+use std::time::Instant;
+
+use zcomp::experiments::{fig12, fullnet};
+use zcomp::sweep::SweepOpts;
+use zcomp_bench::{print_machine, SweepArgs};
+use zcomp_dnn::deepbench::all_configs;
+use zcomp_replay::CacheMode;
+
+/// Sums the cache directory's trace files; errors just mean "unknown".
+fn cache_contents(dir: &str) -> Option<(usize, u64)> {
+    let mut files = 0;
+    let mut bytes = 0;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        if entry.path().extension().is_some_and(|e| e == "ztrc") {
+            files += 1;
+            bytes += entry.metadata().ok()?.len();
+        }
+    }
+    Some((files, bytes))
+}
+
+fn main() {
+    let args = SweepArgs::from_env();
+    print_machine();
+    let mut opts = SweepOpts::default()
+        .with_cache(&args.traces)
+        .with_threads(args.effective_threads());
+    if args.refresh {
+        opts = opts.with_mode(CacheMode::Refresh);
+    }
+    println!(
+        "capturing {} (scale {}, {} threads) into {}{}",
+        args.experiment,
+        args.scale,
+        opts.threads,
+        args.traces,
+        if args.refresh { " [refresh]" } else { "" }
+    );
+    let t0 = Instant::now();
+    let cells = match args.experiment.as_str() {
+        "fig12" => {
+            let r = fig12::run_sweep(&all_configs(), args.scale, 0.53, &opts);
+            let s = r.summary();
+            println!(
+                "fig12: zcomp core cut {:.1}%, dram cut {:.1}%, speedup {:.2}x",
+                s.zcomp_core_reduction * 100.0,
+                s.zcomp_dram_reduction * 100.0,
+                s.zcomp_speedup
+            );
+            r.rows.len() * fig12::SCHEMES.len()
+        }
+        _ => {
+            let r = fullnet::run_sweep(args.scale, &opts);
+            let s = r.summary();
+            println!(
+                "fullnet: zcomp traffic cut {:.1}%/{:.1}% (train/infer), speedup {:.2}x/{:.2}x",
+                s.zcomp_train_traffic * 100.0,
+                s.zcomp_infer_traffic * 100.0,
+                s.zcomp_train_speedup,
+                s.zcomp_infer_speedup
+            );
+            r.rows.iter().map(|row| row.cells.len()).sum()
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    match cache_contents(&args.traces) {
+        Some((files, bytes)) => println!(
+            "captured {cells} cells in {secs:.2}s; cache holds {files} traces ({:.1} MiB)",
+            bytes as f64 / (1024.0 * 1024.0)
+        ),
+        None => println!("captured {cells} cells in {secs:.2}s"),
+    }
+}

@@ -1,0 +1,156 @@
+//! Replays cached memory traces through the sweep engine.
+//!
+//! The warm path of the capture/replay split: cells whose traces exist
+//! under `--traces` are reproduced from disk without regenerating
+//! workloads; missing cells simulate (and capture) as usual.
+//!
+//! * `--verify` re-runs the experiment in-process and asserts the replayed
+//!   statistics are identical — the end-to-end fidelity check.
+//! * `--bench PATH` times cold capture vs warm serial vs warm parallel
+//!   replay and writes the measurements as JSON (see `BENCH_replay.json`).
+//!
+//! ```text
+//! replay_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
+//!            [--verify] [--bench PATH] [--quiet]
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zcomp::experiments::{fig12, fullnet};
+use zcomp::sweep::SweepOpts;
+use zcomp_bench::{print_machine, SweepArgs};
+use zcomp_dnn::deepbench::all_configs;
+use zcomp_replay::CacheMode;
+
+/// One timed sweep; returns (cells, seconds).
+fn timed_sweep(args: &SweepArgs, opts: &SweepOpts) -> (usize, f64) {
+    let t0 = Instant::now();
+    let cells = match args.experiment.as_str() {
+        "fig12" => {
+            let r = fig12::run_sweep(&all_configs(), args.scale, 0.53, opts);
+            r.rows.len() * fig12::SCHEMES.len()
+        }
+        _ => {
+            let r = fullnet::run_sweep(args.scale, opts);
+            r.rows.iter().map(|row| row.cells.len()).sum()
+        }
+    };
+    (cells, t0.elapsed().as_secs_f64())
+}
+
+/// Replays the sweep and checks it against a from-scratch in-process run.
+/// Returns whether the statistics matched exactly.
+fn verify(args: &SweepArgs, opts: &SweepOpts) -> bool {
+    match args.experiment.as_str() {
+        "fig12" => {
+            let configs = all_configs();
+            let replayed = fig12::run_sweep(&configs, args.scale, 0.53, opts);
+            let reference = fig12::run_configs(&configs, args.scale, 0.53);
+            let rows_ok = replayed.rows == reference.rows;
+            let prefetch_ok = replayed.zcomp_prefetch == reference.zcomp_prefetch;
+            if !rows_ok {
+                eprintln!("verify: fig12 rows differ between replay and in-process run");
+            }
+            if !prefetch_ok {
+                eprintln!("verify: fig12 prefetch stats differ");
+            }
+            rows_ok && prefetch_ok
+        }
+        _ => {
+            let replayed = fullnet::run_sweep(args.scale, opts);
+            let reference = fullnet::run(args.scale);
+            let ok = replayed.rows == reference.rows;
+            if !ok {
+                eprintln!("verify: fullnet rows differ between replay and in-process run");
+            }
+            ok
+        }
+    }
+}
+
+/// The record written by `--bench`.
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    experiment: String,
+    scale: usize,
+    threads: usize,
+    host_cores: usize,
+    cells: usize,
+    cold_capture_secs: f64,
+    warm_serial_secs: f64,
+    warm_parallel_secs: f64,
+    warm_serial_speedup_vs_cold: f64,
+    warm_parallel_speedup_vs_cold: f64,
+}
+
+fn bench(args: &SweepArgs, path: &str) {
+    let threads = args.effective_threads();
+    let cache = |mode: CacheMode, threads: usize| {
+        SweepOpts::default()
+            .with_cache(&args.traces)
+            .with_threads(threads)
+            .with_mode(mode)
+    };
+    println!("bench: cold capture (serial, refresh)...");
+    let (cells, cold) = timed_sweep(args, &cache(CacheMode::Refresh, 1));
+    println!("bench: warm replay (serial)...");
+    let (_, warm_serial) = timed_sweep(args, &cache(CacheMode::Auto, 1));
+    println!("bench: warm replay ({threads} threads)...");
+    let (_, warm_parallel) = timed_sweep(args, &cache(CacheMode::Auto, threads));
+    let record = BenchRecord {
+        experiment: args.experiment.clone(),
+        scale: args.scale,
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells,
+        cold_capture_secs: cold,
+        warm_serial_secs: warm_serial,
+        warm_parallel_secs: warm_parallel,
+        warm_serial_speedup_vs_cold: cold / warm_serial,
+        warm_parallel_speedup_vs_cold: cold / warm_parallel,
+    };
+    println!(
+        "bench: cold {cold:.2}s, warm serial {warm_serial:.2}s ({:.2}x), \
+         warm parallel {warm_parallel:.2}s ({:.2}x)",
+        record.warm_serial_speedup_vs_cold, record.warm_parallel_speedup_vs_cold
+    );
+    match serde_json::to_string_pretty(&record) {
+        Ok(text) => match std::fs::write(path, text + "\n") {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        },
+        Err(e) => eprintln!("cannot serialize bench record: {e}"),
+    }
+}
+
+fn main() {
+    let args = SweepArgs::from_env();
+    print_machine();
+    if let Some(path) = &args.bench {
+        bench(&args, path);
+        return;
+    }
+    let opts = SweepOpts::default()
+        .with_cache(&args.traces)
+        .with_threads(args.effective_threads());
+    if args.verify {
+        println!(
+            "replaying {} (scale {}) from {} and verifying against an in-process run",
+            args.experiment, args.scale, args.traces
+        );
+        if verify(&args, &opts) {
+            println!("verify: OK — replayed statistics are identical");
+        } else {
+            eprintln!("verify: FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+    println!(
+        "replaying {} (scale {}, {} threads) from {}",
+        args.experiment, args.scale, opts.threads, args.traces
+    );
+    let (cells, secs) = timed_sweep(&args, &opts);
+    println!("replayed {cells} cells in {secs:.2}s");
+}

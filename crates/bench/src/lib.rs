@@ -66,11 +66,120 @@ impl FigArgs {
     }
 
     /// Writes a serializable result to the `--json` path, if given.
+    ///
+    /// Failures are logged, not fatal: by the time this runs the figure has
+    /// already been printed, and losing the JSON copy should not turn a
+    /// completed run into a non-zero exit.
     pub fn save_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let text = serde_json::to_string_pretty(value).expect("results serialize");
-            std::fs::write(path, text).expect("write json output");
-            zcomp_trace::log_info!("wrote {path}");
+            let text = match serde_json::to_string_pretty(value) {
+                Ok(t) => t,
+                Err(e) => {
+                    zcomp_trace::log_warn!("cannot serialize results ({e}); {path} not written");
+                    return;
+                }
+            };
+            match std::fs::write(path, text) {
+                Ok(()) => zcomp_trace::log_info!("wrote {path}"),
+                Err(e) => zcomp_trace::log_warn!("cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Parsed command-line options of the trace capture/replay binaries
+/// (`capture_run`, `replay_run`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Which sweep: `fig12` or `fullnet`.
+    pub experiment: String,
+    /// Workload scale divisor (fig12: tensor sizes, fullnet: batches).
+    pub scale: usize,
+    /// Trace-cache directory.
+    pub traces: String,
+    /// Worker threads; 0 = one per core.
+    pub threads: usize,
+    /// Ignore cached traces and re-capture everything.
+    pub refresh: bool,
+    /// Replay, then verify against an in-process run (replay_run only).
+    pub verify: bool,
+    /// Benchmark cold/warm/parallel and write JSON here (replay_run only).
+    pub bench: Option<String>,
+    /// Silence the stderr logger.
+    pub quiet: bool,
+}
+
+impl SweepArgs {
+    /// Parses `std::env::args`-style arguments (without argv[0]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments, matching the
+    /// figure binaries' behaviour.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> SweepArgs {
+        let mut out = SweepArgs {
+            experiment: String::new(),
+            scale: 1,
+            traces: "results/traces".to_string(),
+            threads: 0,
+            refresh: false,
+            verify: false,
+            bench: None,
+            quiet: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.scale = 64,
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale needs an integer");
+                    assert!(out.scale >= 1, "--scale must be >= 1");
+                }
+                "--traces" => out.traces = it.next().expect("--traces needs a directory"),
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    out.threads = v.parse().expect("--threads needs an integer");
+                }
+                "--refresh" => out.refresh = true,
+                "--verify" => out.verify = true,
+                "--bench" => out.bench = Some(it.next().expect("--bench needs a path")),
+                "--quiet" => out.quiet = true,
+                other if out.experiment.is_empty() && !other.starts_with('-') => {
+                    assert!(
+                        other == "fig12" || other == "fullnet",
+                        "unknown experiment: {other} (expected fig12 or fullnet)"
+                    );
+                    out.experiment = other.to_string();
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected fig12|fullnet, \
+                     --quick/--scale/--traces/--threads/--refresh/--verify/--bench/--quiet)"
+                ),
+            }
+        }
+        assert!(
+            !out.experiment.is_empty(),
+            "missing experiment: expected fig12 or fullnet"
+        );
+        out
+    }
+
+    /// Parses the process arguments and applies the logging choice.
+    pub fn from_env() -> SweepArgs {
+        let args = SweepArgs::parse(std::env::args().skip(1));
+        if args.quiet {
+            zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
+        }
+        args
+    }
+
+    /// Thread count with the 0-means-all-cores default resolved.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
         }
     }
 }
@@ -129,5 +238,56 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_panics() {
         FigArgs::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn sweep_args_defaults() {
+        let a = SweepArgs::parse(["fig12".to_string()]);
+        assert_eq!(a.experiment, "fig12");
+        assert_eq!(a.scale, 1);
+        assert_eq!(a.traces, "results/traces");
+        assert_eq!(a.threads, 0);
+        assert!(a.effective_threads() >= 1);
+        assert!(!a.refresh && !a.verify && a.bench.is_none() && !a.quiet);
+    }
+
+    #[test]
+    fn sweep_args_full() {
+        let a = SweepArgs::parse(
+            [
+                "fullnet",
+                "--scale",
+                "8",
+                "--traces",
+                "/tmp/t",
+                "--threads",
+                "4",
+                "--refresh",
+                "--verify",
+                "--bench",
+                "B.json",
+                "--quiet",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(a.experiment, "fullnet");
+        assert_eq!(a.scale, 8);
+        assert_eq!(a.traces, "/tmp/t");
+        assert_eq!(a.effective_threads(), 4);
+        assert!(a.refresh && a.verify && a.quiet);
+        assert_eq!(a.bench.as_deref(), Some("B.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn sweep_args_reject_bad_experiment() {
+        SweepArgs::parse(["fig99".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing experiment")]
+    fn sweep_args_require_experiment() {
+        SweepArgs::parse(["--quick".to_string()]);
     }
 }

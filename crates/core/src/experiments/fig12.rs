@@ -12,11 +12,14 @@ use zcomp_dnn::deepbench::{all_configs, DeepBenchConfig};
 use zcomp_isa::uops::UopTable;
 use zcomp_kernels::nnz::nnz_synthetic;
 use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_replay::{config_fingerprint, replay, CacheMode, TraceCache, TraceKey, TraceMeta};
 use zcomp_sim::config::SimConfig;
 use zcomp_sim::engine::Machine;
 use zcomp_sim::stats::PrefetchStats;
+use zcomp_trace::log_warn;
 
 use crate::report::{fmt_bytes, mean, pct, Table};
+use crate::sweep::{run_sharded, SweepOpts};
 
 /// The three schemes in plotting order.
 pub const SCHEMES: [ReluScheme; 3] = [
@@ -273,6 +276,193 @@ pub fn run_configs(
     }
 }
 
+/// The trailer note persisted with every fig12 cell trace: the byte
+/// counts the replay driver cannot recover from the op stream alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CellNote {
+    output_bytes: u64,
+    uncompressed_bytes: u64,
+}
+
+impl CellNote {
+    fn compression_ratio(&self) -> f64 {
+        if self.output_bytes == 0 {
+            1.0
+        } else {
+            self.uncompressed_bytes as f64 / self.output_bytes as f64
+        }
+    }
+}
+
+/// Runs one (config, scheme) cell with the trace cache: replay on a valid
+/// hit, simulate-and-capture otherwise. Every cache failure — open,
+/// replay, capture, finish — degrades to plain in-process simulation.
+fn sweep_cell(
+    cache: Option<&TraceCache>,
+    mode: CacheMode,
+    config: &DeepBenchConfig,
+    index: usize,
+    scheme: ReluScheme,
+    scale_divisor: usize,
+    sparsity: f64,
+) -> (Fig12Cell, PrefetchStats) {
+    let elements = (config.elements / scale_divisor.max(1)).max(256);
+    let seed = 0xF16_5EED ^ ((index as u64) << 8);
+    let sim_cfg = SimConfig::table1();
+    let fingerprint = config_fingerprint(&sim_cfg);
+    let key = TraceKey::new(
+        "fig12",
+        format!(
+            "cfg={};scheme={scheme};elements={elements};sparsity={sparsity};seed={seed:#x};opts=default",
+            config.name
+        ),
+    );
+    if let Some(cache) = cache {
+        match mode {
+            CacheMode::Refresh => cache.evict(&key, fingerprint),
+            CacheMode::Auto => {
+                if let Some(mut reader) = cache.open(&key, fingerprint) {
+                    let mut machine = Machine::new(sim_cfg.clone(), UopTable::skylake_x());
+                    match replay(&mut reader, &mut machine) {
+                        Ok(outcome) => {
+                            let note = serde_json::from_str::<CellNote>(&outcome.note);
+                            if let (Some(window), Ok(note)) = (outcome.measured, note) {
+                                let cell = Fig12Cell {
+                                    scheme,
+                                    onchip_bytes: window.traffic.onchip_bytes(),
+                                    dram_bytes: window.traffic.dram_bytes,
+                                    cycles: window.cycles,
+                                    compression_ratio: note.compression_ratio(),
+                                };
+                                return (cell, outcome.summary.l2_prefetch);
+                            }
+                            log_warn!(
+                                "fig12 trace for [{}] lacks a window or note; re-capturing",
+                                key.cell
+                            );
+                        }
+                        Err(e) => {
+                            log_warn!("fig12 replay of [{}] failed ({e}); re-capturing", key.cell)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cache miss (or caching off): simulate, capturing when possible.
+    let nnz = nnz_synthetic(elements, sparsity, 6.0, seed);
+    let mut machine = Machine::new(sim_cfg, UopTable::skylake_x());
+    let session =
+        cache.and_then(
+            |c| match c.begin_capture(&key, TraceMeta::for_config(machine.config())) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    log_warn!(
+                        "fig12 capture of [{}] cannot start ({e}); running uncached",
+                        key.cell
+                    );
+                    None
+                }
+            },
+        );
+    if let Some(s) = &session {
+        machine.set_observer(Some(s.observer()));
+    }
+    let result = run_relu(&mut machine, scheme, &nnz, &ReluOpts::default());
+    machine.set_observer(None);
+    if let Some(s) = session {
+        let note = serde_json::to_string(&CellNote {
+            output_bytes: result.output_bytes,
+            uncompressed_bytes: result.uncompressed_bytes,
+        })
+        .unwrap_or_default();
+        if let Err(e) = s.finish(&note) {
+            log_warn!("fig12 capture of [{}] failed ({e}); result kept", key.cell);
+        }
+    }
+    let cell = Fig12Cell {
+        scheme,
+        onchip_bytes: result.traffic.onchip_bytes(),
+        dram_bytes: result.traffic.dram_bytes,
+        cycles: result.total_cycles(),
+        compression_ratio: result.compression_ratio(),
+    };
+    (cell, machine.summary().l2_prefetch)
+}
+
+/// Runs the Figure 12 sweep sharded across threads with trace-cached
+/// cells; equivalent to [`run_configs`] cell for cell.
+///
+/// Cold cells simulate in-process (capturing a trace when a cache is
+/// configured); warm cells replay their cached trace, skipping workload
+/// generation. The merge is deterministic: results are assembled in
+/// config/scheme order regardless of which worker finished first.
+pub fn run_sweep(
+    configs: &[DeepBenchConfig],
+    scale_divisor: usize,
+    sparsity: f64,
+    opts: &SweepOpts,
+) -> Fig12Result {
+    let _span = zcomp_trace::tracer::span("experiment", "fig12-sweep");
+    #[cfg(feature = "trace")]
+    let registry = std::sync::Mutex::new(zcomp_trace::metrics::MetricsRegistry::new());
+    let cache = opts.cache();
+    let items = configs.len() * SCHEMES.len();
+    let cells = run_sharded(items, opts.threads, |idx| {
+        let config_index = idx / SCHEMES.len();
+        let scheme = SCHEMES[idx % SCHEMES.len()];
+        let out = sweep_cell(
+            cache.as_ref(),
+            opts.cache_mode,
+            &configs[config_index],
+            config_index,
+            scheme,
+            scale_divisor,
+            sparsity,
+        );
+        #[cfg(feature = "trace")]
+        {
+            let mut reg = match registry.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            reg.incr("fig12.cells", 1);
+            reg.observe("fig12.cycles", out.0.cycles);
+            reg.observe("fig12.dram_bytes", out.0.dram_bytes as f64);
+            reg.gauge("fig12.compression_ratio", out.0.compression_ratio);
+        }
+        out
+    });
+    let mut rows = Vec::with_capacity(configs.len());
+    let mut zcomp_prefetch = PrefetchStats::default();
+    for (ci, config) in configs.iter().enumerate() {
+        let mut row_cells = Vec::with_capacity(SCHEMES.len());
+        for (si, scheme) in SCHEMES.iter().enumerate() {
+            let (cell, prefetch) = &cells[ci * SCHEMES.len() + si];
+            if *scheme == ReluScheme::Zcomp {
+                zcomp_prefetch.merge(prefetch);
+            }
+            row_cells.push(cell.clone());
+        }
+        rows.push(Fig12Row {
+            config: config.clone(),
+            simulated_elements: (config.elements / scale_divisor.max(1)).max(256),
+            cells: row_cells,
+        });
+    }
+    Fig12Result {
+        rows,
+        zcomp_prefetch,
+        #[cfg(feature = "trace")]
+        metrics: match registry.into_inner() {
+            Ok(r) => r,
+            Err(p) => p.into_inner(),
+        }
+        .summary(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +512,35 @@ mod tests {
             let text = r.table(panel).render();
             assert!(text.contains("zcomp"));
         }
+    }
+
+    #[test]
+    fn sweep_matches_serial_run() {
+        let configs = &suite_configs(Suite::ConvTrain)[..2];
+        let reference = run_configs(configs, 4096, 0.53);
+
+        let root = std::env::temp_dir().join(format!("ztrc-fig12-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Cold: serial, capturing into the cache.
+        let cold = run_sweep(configs, 4096, 0.53, &SweepOpts::serial().with_cache(&root));
+        // Warm: parallel, replaying the captured traces.
+        let warm = run_sweep(
+            configs,
+            4096,
+            0.53,
+            &SweepOpts::default().with_cache(&root).with_threads(4),
+        );
+        let _ = std::fs::remove_dir_all(&root);
+
+        assert_eq!(
+            reference.rows, cold.rows,
+            "cold sweep must match run_configs"
+        );
+        assert_eq!(
+            reference.rows, warm.rows,
+            "warm replay must match run_configs"
+        );
+        assert_eq!(reference.zcomp_prefetch, cold.zcomp_prefetch);
+        assert_eq!(reference.zcomp_prefetch, warm.zcomp_prefetch);
     }
 }

@@ -12,10 +12,13 @@ use zcomp_dnn::sparsity::SparsityModel;
 use zcomp_isa::uops::UopTable;
 use zcomp_kernels::layer_exec::Scheme;
 use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
+use zcomp_replay::{config_fingerprint, replay, CacheMode, TraceCache, TraceKey, TraceMeta};
 use zcomp_sim::config::SimConfig;
-use zcomp_sim::engine::Machine;
+use zcomp_sim::engine::{Machine, RunSummary};
+use zcomp_trace::log_warn;
 
 use crate::report::{mean, pct, Table};
+use crate::sweep::{run_sharded, SweepOpts};
 
 /// Training or inference column group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -253,6 +256,165 @@ pub fn run(batch_divisor: usize) -> FullNetResult {
     }
 }
 
+/// The three schemes in plotting order.
+const SCHEMES: [Scheme; 3] = [Scheme::None, Scheme::Avx512Comp, Scheme::Zcomp];
+
+fn cell_from_summary(scheme: Scheme, summary: &RunSummary) -> FullNetCell {
+    FullNetCell {
+        scheme,
+        onchip_bytes: summary.traffic.onchip_bytes(),
+        dram_bytes: summary.traffic.dram_bytes,
+        cycles: summary.wall_cycles,
+        memory_fraction: summary.breakdown.memory_fraction(),
+    }
+}
+
+/// Runs one (model, mode, scheme) cell with the trace cache: replay on a
+/// valid hit, simulate-and-capture otherwise. A warm cell skips network
+/// construction and sparsity profiling entirely; every cache failure
+/// degrades to plain in-process simulation.
+fn sweep_cell(
+    cache: Option<&TraceCache>,
+    cache_mode: CacheMode,
+    model: ModelId,
+    mode: Mode,
+    scheme: Scheme,
+    batch: usize,
+) -> FullNetCell {
+    let sim_cfg = SimConfig::table1();
+    let fingerprint = config_fingerprint(&sim_cfg);
+    let key = TraceKey::new(
+        "fullnet",
+        format!("model={model};mode={mode};scheme={scheme:?};batch={batch};profile=50"),
+    );
+    if let Some(cache) = cache {
+        match cache_mode {
+            CacheMode::Refresh => cache.evict(&key, fingerprint),
+            CacheMode::Auto => {
+                if let Some(mut reader) = cache.open(&key, fingerprint) {
+                    let mut machine = Machine::new(sim_cfg.clone(), UopTable::skylake_x());
+                    match replay(&mut reader, &mut machine) {
+                        Ok(outcome) => return cell_from_summary(scheme, &outcome.summary),
+                        Err(e) => {
+                            log_warn!(
+                                "fullnet replay of [{}] failed ({e}); re-capturing",
+                                key.cell
+                            )
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cache miss (or caching off): build the workload and simulate,
+    // capturing when possible.
+    let net = model.build(batch);
+    let profile = SparsityModel::default().profile(&net, 50);
+    let mut machine = Machine::new(sim_cfg, UopTable::skylake_x());
+    let session =
+        cache.and_then(
+            |c| match c.begin_capture(&key, TraceMeta::for_config(machine.config())) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    log_warn!(
+                        "fullnet capture of [{}] cannot start ({e}); running uncached",
+                        key.cell
+                    );
+                    None
+                }
+            },
+        );
+    if let Some(s) = &session {
+        machine.set_observer(Some(s.observer()));
+    }
+    let result = run_network(
+        &mut machine,
+        &net,
+        &profile,
+        &NetworkExecOpts {
+            scheme,
+            training: mode == Mode::Training,
+            ..NetworkExecOpts::default()
+        },
+    );
+    machine.set_observer(None);
+    if let Some(s) = session {
+        if let Err(e) = s.finish("{}") {
+            log_warn!(
+                "fullnet capture of [{}] failed ({e}); result kept",
+                key.cell
+            );
+        }
+    }
+    cell_from_summary(scheme, &result.summary)
+}
+
+/// Runs the full-network sweep sharded across threads with trace-cached
+/// cells; equivalent to [`run`] row for row.
+///
+/// All 30 (network, mode, scheme) cells are independent; warm cells replay
+/// their cached trace without rebuilding the network or re-profiling
+/// sparsity. The merge is deterministic regardless of scheduling.
+pub fn run_sweep(batch_divisor: usize, opts: &SweepOpts) -> FullNetResult {
+    let _span = zcomp_trace::tracer::span("experiment", "fullnet-sweep");
+    #[cfg(feature = "trace")]
+    let registry = std::sync::Mutex::new(zcomp_trace::metrics::MetricsRegistry::new());
+    let cache = opts.cache();
+    let modes = [Mode::Training, Mode::Inference];
+    let batch_of = |model: ModelId, mode: Mode| match mode {
+        Mode::Training => (model.training_batch() / batch_divisor.max(1)).max(1),
+        Mode::Inference => model.inference_batch(),
+    };
+    let items = ModelId::ALL.len() * modes.len() * SCHEMES.len();
+    let cells = run_sharded(items, opts.threads, |idx| {
+        let model = ModelId::ALL[idx / (modes.len() * SCHEMES.len())];
+        let mode = modes[(idx / SCHEMES.len()) % modes.len()];
+        let scheme = SCHEMES[idx % SCHEMES.len()];
+        let cell = sweep_cell(
+            cache.as_ref(),
+            opts.cache_mode,
+            model,
+            mode,
+            scheme,
+            batch_of(model, mode),
+        );
+        #[cfg(feature = "trace")]
+        {
+            let mut reg = match registry.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            reg.incr("fullnet.runs", 1);
+            reg.observe("fullnet.wall_cycles", cell.cycles);
+            reg.observe("fullnet.dram_bytes", cell.dram_bytes as f64);
+            reg.gauge("fullnet.memory_fraction", cell.memory_fraction);
+        }
+        cell
+    });
+    let mut rows = Vec::with_capacity(ModelId::ALL.len() * modes.len());
+    let mut it = cells.into_iter();
+    for model in ModelId::ALL {
+        for mode in modes {
+            rows.push(FullNetRow {
+                model,
+                mode,
+                batch: batch_of(model, mode),
+                cells: it.by_ref().take(SCHEMES.len()).collect(),
+            });
+        }
+    }
+    FullNetResult {
+        rows,
+        #[cfg(feature = "trace")]
+        metrics: match registry.into_inner() {
+            Ok(r) => r,
+            Err(p) => p.into_inner(),
+        }
+        .summary(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +468,20 @@ mod tests {
         let r = quick();
         assert!(r.table_traffic().render().contains("zcomp"));
         assert!(r.table_speedup().render().contains('x'));
+    }
+
+    #[test]
+    fn sweep_matches_serial_run() {
+        let reference = quick();
+        let root = std::env::temp_dir().join(format!("ztrc-fullnet-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Cold: parallel capture into the cache (order must not matter).
+        let cold = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4));
+        // Warm: replay every cell from the cache.
+        let warm = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4));
+        let _ = std::fs::remove_dir_all(&root);
+
+        assert_eq!(reference.rows, cold.rows, "cold sweep must match run()");
+        assert_eq!(reference.rows, warm.rows, "warm replay must match run()");
     }
 }

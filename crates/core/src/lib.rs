@@ -31,9 +31,11 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use zcomp_cachecomp;
 pub use zcomp_dnn;
 pub use zcomp_isa;
 pub use zcomp_kernels;
+pub use zcomp_replay;
 pub use zcomp_sim;

@@ -1,0 +1,159 @@
+//! Sharded sweep execution: spreads independent experiment cells across
+//! OS threads with a deterministic merge, and carries the trace-cache
+//! policy the cell runners use.
+//!
+//! Every cell of the Fig. 12 and full-network sweeps builds its own
+//! [`Machine`](zcomp_sim::Machine) from a fixed seed, so cells are
+//! embarrassingly parallel; the only subtlety is keeping results
+//! *deterministic* regardless of scheduling. [`run_sharded`] hands out
+//! work-stealing indices through an atomic counter, tags each result with
+//! its index, and sorts on merge — the output vector is byte-for-byte the
+//! one a serial loop would produce.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use zcomp_replay::{CacheMode, TraceCache};
+
+/// Options of a sharded, trace-cached sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Worker threads; `0` or `1` runs serially on the calling thread.
+    pub threads: usize,
+    /// Trace-cache root; `None` disables capture/replay entirely and every
+    /// cell simulates in-process.
+    pub cache_root: Option<PathBuf>,
+    /// Cache policy (replay hits vs forced re-capture).
+    pub cache_mode: CacheMode,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_root: None,
+            cache_mode: CacheMode::Auto,
+        }
+    }
+}
+
+impl SweepOpts {
+    /// Serial, uncached execution — behaviourally identical to the plain
+    /// experiment runners.
+    pub fn serial() -> Self {
+        SweepOpts {
+            threads: 1,
+            cache_root: None,
+            cache_mode: CacheMode::Auto,
+        }
+    }
+
+    /// Enables the trace cache under `root`.
+    pub fn with_cache(mut self, root: impl Into<PathBuf>) -> Self {
+        self.cache_root = Some(root.into());
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cache policy.
+    pub fn with_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// The cache handle, if caching is enabled.
+    pub(crate) fn cache(&self) -> Option<TraceCache> {
+        self.cache_root.as_ref().map(TraceCache::new)
+    }
+}
+
+/// Runs `worker` for every index in `0..items` across up to `threads`
+/// scoped OS threads and returns the results in index order.
+///
+/// Scheduling is work-stealing (an atomic next-index counter), so uneven
+/// cell costs balance automatically; the index-sorted merge keeps the
+/// output identical to a serial run. A panicking worker propagates the
+/// panic to the caller once the scope joins.
+pub fn run_sharded<T, F>(items: usize, threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || items <= 1 {
+        return (0..items).map(worker).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                let result = worker(i);
+                match slots.lock() {
+                    Ok(mut v) => v.push((i, result)),
+                    // Another worker panicked while holding the lock; the
+                    // scope is about to propagate that panic anyway.
+                    Err(poisoned) => poisoned.into_inner().push((i, result)),
+                }
+            });
+        }
+    });
+    let mut v = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 7, 32] {
+            let out = run_sharded(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_merges_deterministically() {
+        // Later indices finish first; order must still hold.
+        let out = run_sharded(20, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((20 - i) as u64 * 50));
+            i
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let out: Vec<usize> = run_sharded(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = run_sharded(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_opts_are_parallel_and_uncached() {
+        let o = SweepOpts::default();
+        assert!(o.threads >= 1);
+        assert!(o.cache_root.is_none());
+        assert_eq!(o.cache_mode, CacheMode::Auto);
+    }
+}

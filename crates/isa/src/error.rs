@@ -82,6 +82,34 @@ pub enum ZcompError {
         /// Checksum of the stream as it is now.
         actual: u32,
     },
+    /// A persisted trace file declares a format version this build does
+    /// not speak. Versions are bumped on any wire-layout change; readers
+    /// never guess.
+    TraceVersion {
+        /// Version recorded in the file header.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// A persisted trace file is structurally malformed: a field is out
+    /// of range, a varint overruns, an opcode is unknown, or a chunk's
+    /// record count does not reconcile. Distinct from
+    /// [`ZcompError::ChecksumMismatch`], which covers bit-level damage to
+    /// an otherwise well-formed chunk.
+    TraceCorrupt {
+        /// Byte offset (within the file or current chunk) of the defect.
+        offset: u64,
+        /// Static description of what failed to parse.
+        reason: &'static str,
+    },
+    /// A trace was captured on a differently-configured machine than the
+    /// one replaying it; replaying would produce silently wrong stats.
+    TraceConfigMismatch {
+        /// Configuration fingerprint recorded at capture time.
+        expected: u32,
+        /// Fingerprint of the replaying machine's configuration.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for ZcompError {
@@ -117,6 +145,17 @@ impl std::fmt::Display for ZcompError {
             ZcompError::ChecksumMismatch { expected, actual } => write!(
                 f,
                 "stream checksum mismatch: sidecar records {expected:#010x}, contents hash to {actual:#010x}"
+            ),
+            ZcompError::TraceVersion { found, supported } => write!(
+                f,
+                "trace format version {found} is not supported (this build speaks version {supported})"
+            ),
+            ZcompError::TraceCorrupt { offset, reason } => {
+                write!(f, "trace corrupt at byte offset {offset}: {reason}")
+            }
+            ZcompError::TraceConfigMismatch { expected, found } => write!(
+                f,
+                "trace was captured under machine configuration {expected:#010x} but the replaying machine fingerprints as {found:#010x}"
             ),
         }
     }

@@ -89,24 +89,44 @@ const fn make_crc32_table() -> [u32; 256] {
 
 static CRC32_TABLE: [u32; 256] = make_crc32_table();
 
-/// Incremental CRC32 state.
+/// Incremental CRC32 (IEEE 802.3, reflected) state.
+///
+/// Public so other layers that need the same polynomial — notably the
+/// `zcomp-replay` trace-chunk framing — share one implementation instead
+/// of growing a second table.
 #[derive(Debug, Clone, Copy)]
-struct Crc32(u32);
+pub struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Self {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 = (self.0 >> 8) ^ CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
         }
     }
 
-    fn finish(self) -> u32 {
+    /// Finalizes and returns the CRC32 value.
+    pub fn finish(self) -> u32 {
         self.0 ^ 0xFFFF_FFFF
     }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
 }
 
 impl StreamChecksum {

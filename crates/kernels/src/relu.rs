@@ -211,14 +211,19 @@ pub fn run_relu(
     for _ in 0..opts.warmup_iterations {
         run_iteration(machine);
     }
+    // Trace-capture hook: everything after this marker is the measured
+    // window, so a replay driver can reproduce the reported deltas.
+    machine.marker(zcomp_sim::observe::MEASURE_START);
     let traffic_before = *machine.mem().traffic();
-    let mut measured_cycles = 0.0;
+    let cycles_before = machine.total_cycles();
     let mut last = None;
     for _ in 0..opts.iterations.max(1) {
-        let (store, load, bytes) = run_iteration(machine);
-        measured_cycles += store.wall_cycles + load.as_ref().map_or(0.0, |p| p.wall_cycles);
-        last = Some((store, load, bytes));
+        last = Some(run_iteration(machine));
     }
+    // Deltas of the machine's own accumulators, not a re-summation of the
+    // phase reports: a trace replay computes the identical expression over
+    // identical f64 state, so the reported cycles match bit-for-bit.
+    let measured_cycles = machine.total_cycles() - cycles_before;
     let (store_phase, load_phase, mut output_bytes) =
         last.expect("at least one measured iteration");
     let mut traffic = *machine.mem().traffic();

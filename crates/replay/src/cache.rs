@@ -1,0 +1,241 @@
+//! Content-addressed trace store.
+//!
+//! Traces live under one root directory (by convention `results/traces/`)
+//! with names derived from what they contain:
+//!
+//! ```text
+//! {experiment}-{fnv1a64(experiment ‖ cell ‖ config_hash ‖ format_version):016x}.ztrc
+//! ```
+//!
+//! The key folds in the machine-config fingerprint and the wire-format
+//! version, so changing either simply misses the cache — stale files are
+//! never mistaken for current ones, and no invalidation pass is needed.
+//!
+//! Failure policy mirrors the recorder's: the cache is an optimization.
+//! [`TraceCache::open`] returns `None` on *any* problem — missing file,
+//! unreadable file, corrupt or truncated trace, version or config
+//! mismatch — and the caller regenerates; a sweep never aborts because a
+//! cached file went bad.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use zcomp_trace::log_warn;
+
+use crate::codec::{TraceMeta, TraceReader, FORMAT_VERSION};
+use crate::recorder::CaptureSession;
+use crate::TraceError;
+
+/// How a sweep treats the trace cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Replay cached traces when present and valid; capture on miss.
+    Auto,
+    /// Ignore existing traces and re-capture everything.
+    Refresh,
+}
+
+/// Identity of one cached trace: the experiment family plus a free-form
+/// cell descriptor (config name, scheme, sizes, seeds — everything that
+/// determines the op stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceKey {
+    /// Experiment family, used as the filename prefix (e.g. `fig12`).
+    pub experiment: String,
+    /// Cell descriptor; any string uniquely naming the cell's inputs.
+    pub cell: String,
+}
+
+impl TraceKey {
+    /// Builds a key from an experiment family and a cell descriptor.
+    pub fn new(experiment: impl Into<String>, cell: impl Into<String>) -> Self {
+        TraceKey {
+            experiment: experiment.into(),
+            cell: cell.into(),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Keeps the filename prefix filesystem-safe regardless of what callers
+/// put in the experiment name.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A directory of content-addressed `.ztrc` files.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    root: PathBuf,
+}
+
+impl TraceCache {
+    /// Opens (lazily — no I/O happens here) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        TraceCache { root: root.into() }
+    }
+
+    /// The conventional cache location, `results/traces/`.
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("results/traces")
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file path a key maps to under `config_hash`.
+    pub fn path_for(&self, key: &TraceKey, config_hash: u32) -> PathBuf {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, key.experiment.as_bytes());
+        fnv1a(&mut h, &[0]);
+        fnv1a(&mut h, key.cell.as_bytes());
+        fnv1a(&mut h, &[0]);
+        fnv1a(&mut h, &config_hash.to_le_bytes());
+        fnv1a(&mut h, &FORMAT_VERSION.to_le_bytes());
+        self.root
+            .join(format!("{}-{h:016x}.ztrc", sanitize(&key.experiment)))
+    }
+
+    /// Opens a cached trace for replay; `None` is a cache miss.
+    ///
+    /// Any failure — absent file, I/O error, corrupt header, wrong
+    /// version, wrong config — is a miss. Real errors (anything but a
+    /// missing file) are logged so rot is visible, but never propagate.
+    pub fn open(&self, key: &TraceKey, config_hash: u32) -> Option<TraceReader<BufReader<File>>> {
+        let path = self.path_for(key, config_hash);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                log_warn!("trace cache: cannot open {}: {e}", path.display());
+                return None;
+            }
+        };
+        match TraceReader::new(BufReader::new(file)) {
+            Ok(reader) if reader.meta().config_hash == config_hash => Some(reader),
+            Ok(reader) => {
+                log_warn!(
+                    "trace cache: {} records config {:#010x}, wanted {:#010x}; treating as miss",
+                    path.display(),
+                    reader.meta().config_hash,
+                    config_hash
+                );
+                None
+            }
+            Err(e) => {
+                log_warn!(
+                    "trace cache: {} is unreadable ({e}); treating as miss",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Starts capturing a trace for `key`; the file appears in the cache
+    /// only when the returned session finishes successfully.
+    pub fn begin_capture(
+        &self,
+        key: &TraceKey,
+        meta: TraceMeta,
+    ) -> Result<CaptureSession, TraceError> {
+        CaptureSession::begin(&self.path_for(key, meta.config_hash), meta)
+    }
+
+    /// Removes a cached trace if present (used by [`CacheMode::Refresh`]).
+    pub fn evict(&self, key: &TraceKey, config_hash: u32) {
+        let _ = std::fs::remove_file(self.path_for(key, config_hash));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zcomp_isa::instr::Instr;
+
+    fn temp_cache(name: &str) -> TraceCache {
+        TraceCache::new(
+            std::env::temp_dir().join(format!("ztrc-cache-{}-{name}", std::process::id())),
+        )
+    }
+
+    #[test]
+    fn keys_map_to_distinct_stable_paths() {
+        let cache = TraceCache::new("results/traces");
+        let a = cache.path_for(&TraceKey::new("fig12", "cell-a"), 7);
+        let a2 = cache.path_for(&TraceKey::new("fig12", "cell-a"), 7);
+        let b = cache.path_for(&TraceKey::new("fig12", "cell-b"), 7);
+        let c = cache.path_for(&TraceKey::new("fig12", "cell-a"), 8);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, c, "config hash must change the path");
+        assert!(a.to_string_lossy().ends_with(".ztrc"));
+    }
+
+    #[test]
+    fn experiment_names_are_sanitized() {
+        let cache = TraceCache::new("x");
+        let p = cache.path_for(&TraceKey::new("../../evil name", "c"), 0);
+        let file = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!file.contains('/') && !file.contains("..") && !file.contains(' '));
+    }
+
+    #[test]
+    fn missing_entry_is_a_silent_miss() {
+        let cache = temp_cache("miss");
+        assert!(cache.open(&TraceKey::new("fig12", "nope"), 1).is_none());
+    }
+
+    #[test]
+    fn capture_then_open_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let key = TraceKey::new("fig12", "cfg=A scheme=zcomp n=1024 s=0.5");
+        let meta = TraceMeta::new(2, 99);
+        let session = cache.begin_capture(&key, meta).unwrap();
+        let mut obs = session.observer();
+        obs.on_exec(0, &Instr::VLoad { addr: 0 });
+        drop(obs);
+        session.finish("{}").unwrap();
+
+        let mut reader = cache.open(&key, 99).expect("hit after capture");
+        assert_eq!(reader.meta(), meta);
+        assert_eq!(reader.read_to_end().unwrap().len(), 1);
+
+        // Wrong config hash: miss, and the file is untouched.
+        assert!(cache.open(&key, 100).is_none());
+
+        cache.evict(&key, 99);
+        assert!(cache.open(&key, 99).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_cached_file_degrades_to_miss() {
+        let cache = temp_cache("corrupt");
+        let key = TraceKey::new("fig12", "cell");
+        std::fs::create_dir_all(cache.root()).unwrap();
+        std::fs::write(cache.path_for(&key, 5), b"not a trace at all").unwrap();
+        assert!(cache.open(&key, 5).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

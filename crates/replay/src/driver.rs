@@ -1,0 +1,218 @@
+//! Replay: feeds a captured trace back through a freshly-built
+//! [`Machine`], reproducing the original run's statistics.
+//!
+//! Replay is exact, not approximate: the trace holds the complete op
+//! stream the kernels issued, every workload RNG was seeded at capture
+//! time, and the machine re-executes the ops in the original order — so
+//! cache states, traffic counters and even f64 cycle accumulation come out
+//! bit-identical. The driver refuses traces captured under a different
+//! machine configuration ([`ZcompError::TraceConfigMismatch`]) rather than
+//! produce silently wrong numbers.
+//!
+//! Kernels that report a *measured window* (e.g. the ReLU runner, which
+//! discards warm-up iterations) emit a [`MEASURE_START`] marker into the
+//! stream; the driver snapshots traffic and wall cycles at that marker and
+//! reports the deltas alongside the whole-run summary.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use zcomp_isa::error::ZcompError;
+use zcomp_isa::instr::AccessKind;
+use zcomp_sim::engine::{Machine, RunSummary};
+use zcomp_sim::stats::TrafficStats;
+use zcomp_sim::MEASURE_START;
+
+use crate::codec::{config_fingerprint, TraceReader};
+use crate::op::TraceOp;
+use crate::TraceError;
+
+/// Statistics of the measured window (from the [`MEASURE_START`] marker to
+/// end of trace), mirroring what the capturing kernel reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredWindow {
+    /// Traffic accumulated inside the window.
+    pub traffic: TrafficStats,
+    /// Wall cycles of phases closed inside the window.
+    pub cycles: f64,
+}
+
+/// Result of replaying one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Whole-run summary of the replaying machine (identical to the
+    /// capturing machine's summary at the same point).
+    pub summary: RunSummary,
+    /// Measured-window deltas, if the trace contains a
+    /// [`MEASURE_START`] marker.
+    pub measured: Option<MeasuredWindow>,
+    /// Ops replayed.
+    pub ops: u64,
+    /// The trailer note (free-form JSON persisted at capture time, e.g.
+    /// compression byte counts).
+    pub note: String,
+}
+
+fn traffic_delta(now: &TrafficStats, start: &TrafficStats) -> TrafficStats {
+    let mut t = *now;
+    t.core_read_bytes -= start.core_read_bytes;
+    t.core_write_bytes -= start.core_write_bytes;
+    t.l2_fill_bytes -= start.l2_fill_bytes;
+    t.l3_fill_bytes -= start.l3_fill_bytes;
+    t.dram_bytes -= start.dram_bytes;
+    t
+}
+
+/// Replays every op of `reader` into `machine`.
+///
+/// The machine must be cold (freshly constructed) and configured
+/// identically to the capturing machine; the config fingerprint in the
+/// trace header is checked before any op is applied.
+pub fn replay<R: Read>(
+    reader: &mut TraceReader<R>,
+    machine: &mut Machine,
+) -> Result<ReplayOutcome, TraceError> {
+    let expected = reader.meta().config_hash;
+    let found = config_fingerprint(machine.config());
+    if expected != found {
+        return Err(TraceError::Codec(ZcompError::TraceConfigMismatch {
+            expected,
+            found,
+        }));
+    }
+    let mut window_start: Option<(TrafficStats, f64)> = None;
+    while let Some(op) = reader.next()? {
+        match op {
+            TraceOp::Exec { thread, instr } => machine.exec(thread as usize, &instr),
+            TraceOp::ChargeCompute { thread, cycles } => {
+                machine.charge_compute(thread as usize, cycles)
+            }
+            TraceOp::AddUops {
+                thread,
+                counts,
+                instrs,
+            } => machine.add_uops(thread as usize, &counts, instrs),
+            TraceOp::Raw {
+                thread,
+                kind,
+                addr,
+                bytes,
+            } => match kind {
+                AccessKind::Read => machine.raw_read(thread as usize, addr, bytes),
+                AccessKind::Write => machine.raw_write(thread as usize, addr, bytes),
+            },
+            TraceOp::EndPhase { mode } => {
+                machine.end_phase(mode);
+            }
+            TraceOp::Marker { label } => {
+                if label == MEASURE_START {
+                    window_start = Some((*machine.mem().traffic(), machine.total_cycles()));
+                }
+            }
+        }
+    }
+    let measured = window_start.map(|(traffic0, cycles0)| MeasuredWindow {
+        traffic: traffic_delta(machine.mem().traffic(), &traffic0),
+        cycles: machine.total_cycles() - cycles0,
+    });
+    Ok(ReplayOutcome {
+        summary: machine.summary(),
+        measured,
+        ops: reader.ops_read(),
+        note: reader.note().unwrap_or("").to_owned(),
+    })
+}
+
+/// Opens a trace file and replays it into `machine`.
+pub fn replay_file(path: &Path, machine: &mut Machine) -> Result<ReplayOutcome, TraceError> {
+    let mut reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    replay(&mut reader, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_all, TraceMeta};
+    use crate::recorder::CaptureSession;
+    use zcomp_isa::uops::UopTable;
+    use zcomp_kernels::nnz::nnz_synthetic;
+    use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+    use zcomp_sim::SimConfig;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ztrc-driver-{}-{name}", std::process::id()))
+    }
+
+    fn machine() -> Machine {
+        Machine::new(SimConfig::test_tiny(), UopTable::skylake_x())
+    }
+
+    #[test]
+    fn replay_reproduces_a_relu_run_exactly() {
+        let nnz = nnz_synthetic(8 * 1024, 0.53, 6.0, 42);
+        let opts = ReluOpts {
+            threads: 2,
+            ..ReluOpts::default()
+        };
+
+        // Capture.
+        let path = temp_path("relu.ztrc");
+        let mut m = machine();
+        let session = CaptureSession::begin(&path, TraceMeta::for_config(m.config())).unwrap();
+        m.set_observer(Some(session.observer()));
+        let live = run_relu(&mut m, ReluScheme::Zcomp, &nnz, &opts);
+        m.set_observer(None);
+        session.finish("{\"check\":true}").unwrap();
+        let live_summary = m.summary();
+
+        // Replay into a cold machine of the same configuration.
+        let mut fresh = machine();
+        let outcome = replay_file(&path, &mut fresh).unwrap();
+
+        assert_eq!(outcome.summary, live_summary, "whole-run summary differs");
+        let window = outcome.measured.expect("relu traces carry a window");
+        assert_eq!(window.traffic, live.traffic, "measured traffic differs");
+        assert_eq!(
+            window.cycles, live.measured_cycles,
+            "measured cycles differ"
+        );
+        assert_eq!(outcome.note, "{\"check\":true}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let bytes = encode_all(&[], TraceMeta::new(16, 0x1234_5678), "").unwrap();
+        let mut m = machine();
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        match replay(&mut r, &mut m) {
+            Err(TraceError::Codec(ZcompError::TraceConfigMismatch { expected, found })) => {
+                assert_eq!(expected, 0x1234_5678);
+                assert_eq!(found, config_fingerprint(m.config()));
+            }
+            other => panic!("expected TraceConfigMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_without_marker_has_no_window() {
+        let mut m = machine();
+        let meta = TraceMeta::for_config(m.config());
+        let ops = vec![
+            TraceOp::Exec {
+                thread: 0,
+                instr: zcomp_isa::instr::Instr::VLoad { addr: 64 },
+            },
+            TraceOp::EndPhase {
+                mode: zcomp_sim::PhaseMode::Parallel,
+            },
+        ];
+        let bytes = encode_all(&ops, meta, "").unwrap();
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let outcome = replay(&mut r, &mut m).unwrap();
+        assert!(outcome.measured.is_none());
+        assert_eq!(outcome.ops, 2);
+        assert_eq!(outcome.summary.traffic.core_read_bytes, 64);
+    }
+}

@@ -1,0 +1,74 @@
+//! The operation vocabulary of a captured machine trace.
+//!
+//! A [`TraceOp`] is one observable action applied to a
+//! [`Machine`](zcomp_sim::engine::Machine): an executed instruction, a bulk
+//! micro-op charge, analytic compute time, a raw line access, a phase
+//! barrier, or an annotation marker. A trace is an ordered sequence of
+//! these; feeding the sequence back through a freshly-built machine of the
+//! same configuration reproduces every statistic of the original run.
+
+use zcomp_isa::instr::{AccessKind, Instr};
+use zcomp_isa::uops::UopCounts;
+use zcomp_sim::engine::PhaseMode;
+
+/// One recorded machine operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// A modelled instruction executed on `thread`.
+    Exec {
+        /// Executing hardware thread.
+        thread: u32,
+        /// The instruction, addresses included.
+        instr: Instr,
+    },
+    /// Analytic compute cycles charged to `thread`.
+    ChargeCompute {
+        /// Charged hardware thread.
+        thread: u32,
+        /// Cycles (serialized bit-exactly).
+        cycles: f64,
+    },
+    /// A bulk micro-op batch accounted to `thread`.
+    AddUops {
+        /// Accounted hardware thread.
+        thread: u32,
+        /// Per-kind micro-op counts.
+        counts: UopCounts,
+        /// Dynamic instruction count of the batch.
+        instrs: u64,
+    },
+    /// A raw demand access without an owning instruction.
+    Raw {
+        /// Accessing hardware thread.
+        thread: u32,
+        /// Read or write.
+        kind: AccessKind,
+        /// Starting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// A phase barrier.
+    EndPhase {
+        /// Parallel or serialized scheduling of the closed phase.
+        mode: PhaseMode,
+    },
+    /// A free-form annotation (measured-window boundary, layer label).
+    Marker {
+        /// The label.
+        label: String,
+    },
+}
+
+impl TraceOp {
+    /// The hardware thread this operation touches, if any.
+    pub fn thread(&self) -> Option<u32> {
+        match self {
+            TraceOp::Exec { thread, .. }
+            | TraceOp::ChargeCompute { thread, .. }
+            | TraceOp::AddUops { thread, .. }
+            | TraceOp::Raw { thread, .. } => Some(*thread),
+            TraceOp::EndPhase { .. } | TraceOp::Marker { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Capture: a [`MachineObserver`] that streams the op sequence to disk
+//! while an experiment runs.
+//!
+//! A [`CaptureSession`] owns the output file; [`CaptureSession::observer`]
+//! hands out a boxed recorder to attach to a
+//! [`Machine`](zcomp_sim::Machine). The recorder writes through a shared
+//! handle, so the session can seal the file after the run even while the
+//! machine still holds the observer box.
+//!
+//! Failure policy: a capture is an *optimization* (it feeds the trace
+//! cache), never a correctness requirement. Any write failure mid-run is
+//! logged, the writer is dropped, and the run continues untraced; the
+//! half-written `.tmp` file is discarded. Only a fully-finished trace is
+//! atomically renamed to its final name, so the cache never holds a
+//! torn file.
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use zcomp_isa::instr::{AccessKind, Instr};
+use zcomp_isa::uops::UopCounts;
+use zcomp_sim::engine::PhaseMode;
+use zcomp_sim::MachineObserver;
+use zcomp_trace::log_warn;
+
+use crate::codec::{TraceMeta, TraceWriter};
+use crate::op::TraceOp;
+use crate::TraceError;
+
+#[derive(Debug)]
+struct SessionInner {
+    writer: Option<TraceWriter<BufWriter<File>>>,
+    error: Option<TraceError>,
+}
+
+/// An in-progress trace capture writing to `<path>.tmp`, renamed to
+/// `<path>` on a successful [`CaptureSession::finish`].
+#[derive(Debug)]
+pub struct CaptureSession {
+    inner: Arc<Mutex<SessionInner>>,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+}
+
+fn lock(inner: &Arc<Mutex<SessionInner>>) -> MutexGuard<'_, SessionInner> {
+    match inner.lock() {
+        Ok(g) => g,
+        // A poisoned capture mutex means an observer callback panicked;
+        // the session state is still structurally sound (worst case the
+        // trace is short, which `finish`'s op accounting would reject).
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl CaptureSession {
+    /// Opens a capture at `path`, creating parent directories, and writes
+    /// the trace header.
+    pub fn begin(path: &Path, meta: TraceMeta) -> Result<Self, TraceError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp_path = PathBuf::from(tmp);
+        let file = File::create(&tmp_path)?;
+        let writer = TraceWriter::new(BufWriter::new(file), meta)?;
+        Ok(CaptureSession {
+            inner: Arc::new(Mutex::new(SessionInner {
+                writer: Some(writer),
+                error: None,
+            })),
+            tmp_path,
+            final_path: path.to_owned(),
+        })
+    }
+
+    /// The final path the trace will occupy once finished.
+    pub fn path(&self) -> &Path {
+        &self.final_path
+    }
+
+    /// A boxed observer to attach via
+    /// [`Machine::set_observer`](zcomp_sim::Machine::set_observer).
+    pub fn observer(&self) -> Box<dyn MachineObserver> {
+        Box::new(TraceRecorder {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Whether a mid-run write failure has already discarded this capture.
+    pub fn is_poisoned(&self) -> bool {
+        lock(&self.inner).error.is_some()
+    }
+
+    /// Seals the trace: flushes the pending ops, writes the trailer with
+    /// `note`, and atomically renames the file into place. Returns the
+    /// total op count. If any write failed during the run, returns that
+    /// error and removes the partial file instead.
+    pub fn finish(self, note: &str) -> Result<u64, TraceError> {
+        let mut inner = lock(&self.inner);
+        if let Some(e) = inner.error.take() {
+            drop(inner);
+            let _ = fs::remove_file(&self.tmp_path);
+            return Err(e);
+        }
+        let Some(writer) = inner.writer.take() else {
+            drop(inner);
+            let _ = fs::remove_file(&self.tmp_path);
+            return Err(TraceError::Io(std::io::Error::other(
+                "capture session already finished",
+            )));
+        };
+        drop(inner);
+        let ops = writer.ops_written();
+        let seal = writer.finish(note).and_then(|_| {
+            fs::rename(&self.tmp_path, &self.final_path)?;
+            Ok(())
+        });
+        match seal {
+            Ok(()) => Ok(ops),
+            Err(e) => {
+                let _ = fs::remove_file(&self.tmp_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Discards the capture and removes the partial file.
+    pub fn abort(self) {
+        let mut inner = lock(&self.inner);
+        inner.writer = None;
+        drop(inner);
+        let _ = fs::remove_file(&self.tmp_path);
+    }
+}
+
+/// The observer half of a [`CaptureSession`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<SessionInner>>,
+}
+
+impl TraceRecorder {
+    fn record(&self, op: TraceOp) {
+        let mut inner = lock(&self.inner);
+        if let Some(w) = inner.writer.as_mut() {
+            if let Err(e) = w.push(op) {
+                log_warn!("trace capture failed mid-run, discarding capture: {e}");
+                inner.error = Some(e);
+                inner.writer = None;
+            }
+        }
+    }
+}
+
+impl MachineObserver for TraceRecorder {
+    fn on_exec(&mut self, thread: usize, instr: &Instr) {
+        self.record(TraceOp::Exec {
+            thread: thread as u32,
+            instr: *instr,
+        });
+    }
+
+    fn on_charge_compute(&mut self, thread: usize, cycles: f64) {
+        self.record(TraceOp::ChargeCompute {
+            thread: thread as u32,
+            cycles,
+        });
+    }
+
+    fn on_add_uops(&mut self, thread: usize, counts: &UopCounts, instrs: u64) {
+        self.record(TraceOp::AddUops {
+            thread: thread as u32,
+            counts: *counts,
+            instrs,
+        });
+    }
+
+    fn on_raw_access(&mut self, thread: usize, kind: AccessKind, addr: u64, bytes: u32) {
+        self.record(TraceOp::Raw {
+            thread: thread as u32,
+            kind,
+            addr,
+            bytes,
+        });
+    }
+
+    fn on_end_phase(&mut self, mode: PhaseMode) {
+        self.record(TraceOp::EndPhase { mode });
+    }
+
+    fn on_marker(&mut self, label: &str) {
+        self.record(TraceOp::Marker {
+            label: label.to_owned(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::TraceReader;
+    use std::io::BufReader;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ztrc-recorder-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn capture_writes_a_readable_trace() {
+        let path = temp_path("basic.ztrc");
+        let session = CaptureSession::begin(&path, TraceMeta::new(2, 0xc0ffee)).unwrap();
+        let mut obs = session.observer();
+        obs.on_marker("hello");
+        for i in 0..10u64 {
+            obs.on_exec(0, &Instr::VLoad { addr: i * 64 });
+        }
+        obs.on_end_phase(PhaseMode::Parallel);
+        drop(obs);
+        let ops = session.finish("{\"x\":1}").unwrap();
+        assert_eq!(ops, 12);
+
+        let mut r = TraceReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+        let decoded = r.read_to_end().unwrap();
+        assert_eq!(decoded.len(), 12);
+        assert_eq!(
+            decoded[0],
+            TraceOp::Marker {
+                label: "hello".into()
+            }
+        );
+        assert_eq!(r.note(), Some("{\"x\":1}"));
+        assert_eq!(r.meta().config_hash, 0xc0ffee);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn begin_on_impossible_path_is_an_error_not_a_panic() {
+        // /dev/null is a file, so a directory cannot be created under it.
+        let err = CaptureSession::begin(
+            Path::new("/dev/null/nested/trace.ztrc"),
+            TraceMeta::new(1, 0),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn abort_leaves_no_file_behind() {
+        let path = temp_path("aborted.ztrc");
+        let session = CaptureSession::begin(&path, TraceMeta::new(1, 0)).unwrap();
+        let mut obs = session.observer();
+        obs.on_exec(0, &Instr::VMaxPs);
+        drop(obs);
+        session.abort();
+        assert!(!path.exists());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+    }
+
+    #[test]
+    fn unfinished_capture_leaves_only_tmp() {
+        let path = temp_path("dropped.ztrc");
+        {
+            let session = CaptureSession::begin(&path, TraceMeta::new(1, 0)).unwrap();
+            let mut obs = session.observer();
+            obs.on_exec(0, &Instr::VMaxPs);
+            // Session dropped without finish: the final path must not
+            // appear (a torn trace never enters the cache).
+        }
+        assert!(!path.exists());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let _ = fs::remove_file(tmp);
+    }
+}

@@ -16,6 +16,7 @@ use crate::config::SimConfig;
 use crate::core::{RooflineModel, ThreadAccounting};
 use crate::faults::{FaultConfig, FaultEvent, FaultSite};
 use crate::hierarchy::MemorySystem;
+use crate::observe::MachineObserver;
 use crate::stats::{CacheStats, CycleBreakdown, FaultStats, PrefetchStats, TrafficStats};
 
 /// How the threads of a phase were scheduled (Fig. 7 of the paper).
@@ -94,6 +95,9 @@ pub struct Machine {
     total_wall: f64,
     total_breakdown: CycleBreakdown,
     access_buf: Vec<MemAccess>,
+    /// Observer receiving the machine's complete operation stream (trace
+    /// capture); `None` in ordinary runs.
+    observer: Option<Box<dyn MachineObserver>>,
     /// Open tracing span of the in-progress phase; phases begin implicitly
     /// at the first activity after the previous `end_phase`.
     #[cfg(feature = "trace")]
@@ -118,6 +122,7 @@ impl Machine {
             total_wall: 0.0,
             total_breakdown: CycleBreakdown::default(),
             access_buf: Vec::with_capacity(4),
+            observer: None,
             #[cfg(feature = "trace")]
             phase_span: None,
             #[cfg(feature = "trace")]
@@ -162,6 +167,31 @@ impl Machine {
         self.threads.len()
     }
 
+    /// Attaches (or detaches, with `None`) a machine observer and returns
+    /// the previous one. Observers see every operation in execution order;
+    /// see [`crate::observe`].
+    pub fn set_observer(
+        &mut self,
+        observer: Option<Box<dyn MachineObserver>>,
+    ) -> Option<Box<dyn MachineObserver>> {
+        std::mem::replace(&mut self.observer, observer)
+    }
+
+    /// Whether an observer is currently attached (lets callers skip the
+    /// cost of building marker labels in ordinary runs).
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Emits a free-form marker to the attached observer. Markers have no
+    /// simulation effect; they annotate the operation stream (measured
+    /// windows, layer boundaries) for replay tooling.
+    pub fn marker(&mut self, label: &str) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_marker(label);
+        }
+    }
+
     /// Arms fault injection across the memory hierarchy (see
     /// [`MemorySystem::attach_faults`]).
     pub fn attach_faults(&mut self, faults: &FaultConfig) {
@@ -190,6 +220,9 @@ impl Machine {
     /// Panics if `thread` is out of range.
     pub fn exec(&mut self, thread: usize, instr: &Instr) {
         self.trace_phase_open();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_exec(thread, instr);
+        }
         let acct = &mut self.threads[thread];
         instr.add_uops(&mut acct.uops);
         acct.instructions += 1;
@@ -211,6 +244,9 @@ impl Machine {
     /// convolution/GEMM math whose individual FMAs are not traced).
     pub fn charge_compute(&mut self, thread: usize, cycles: f64) {
         self.trace_phase_open();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_charge_compute(thread, cycles);
+        }
         self.extra_compute[thread] += cycles;
     }
 
@@ -219,6 +255,9 @@ impl Machine {
     /// counts are known in closed form.
     pub fn add_uops(&mut self, thread: usize, counts: &zcomp_isa::uops::UopCounts, instrs: u64) {
         self.trace_phase_open();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_add_uops(thread, counts, instrs);
+        }
         let acct = &mut self.threads[thread];
         acct.uops.merge(counts);
         acct.instructions += instrs;
@@ -229,6 +268,9 @@ impl Machine {
     /// analytic layer executor for bulk weight/feature streams).
     pub fn raw_read(&mut self, thread: usize, addr: u64, bytes: u32) {
         self.trace_phase_open();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_raw_access(thread, AccessKind::Read, addr, bytes);
+        }
         let r = self.mem.read(thread, addr, bytes);
         self.threads[thread].access.merge(&r);
     }
@@ -236,6 +278,9 @@ impl Machine {
     /// Performs a demand write without an owning instruction.
     pub fn raw_write(&mut self, thread: usize, addr: u64, bytes: u32) {
         self.trace_phase_open();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_raw_access(thread, AccessKind::Write, addr, bytes);
+        }
         let r = self.mem.write(thread, addr, bytes);
         self.threads[thread].access.merge(&r);
     }
@@ -243,6 +288,9 @@ impl Machine {
     /// Closes the current parallel region: computes its timing, folds it
     /// into the run totals and resets the per-thread accounting.
     pub fn end_phase(&mut self, mode: PhaseMode) -> PhaseReport {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_end_phase(mode);
+        }
         let dram_bytes = self.mem.traffic().dram_bytes - self.dram_bytes_phase_start;
         self.dram_bytes_phase_start = self.mem.traffic().dram_bytes;
         // Inter-level fill traffic of this phase, prefetches included —

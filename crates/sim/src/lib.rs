@@ -47,6 +47,7 @@ pub mod engine;
 pub mod faults;
 pub mod hierarchy;
 pub mod noc;
+pub mod observe;
 pub mod prefetch;
 pub mod stats;
 
@@ -54,4 +55,5 @@ pub use config::SimConfig;
 pub use engine::{Machine, PhaseMode, PhaseReport, RunSummary};
 pub use faults::{FaultConfig, FaultEvent, FaultProbe, FaultSite};
 pub use hierarchy::{AccessResult, MemorySystem, ServedBy};
+pub use observe::{MachineObserver, MEASURE_START};
 pub use stats::{CacheStats, CycleBreakdown, FaultStats, PrefetchStats, TrafficStats};

@@ -1,0 +1,127 @@
+//! Machine observation hooks: the capture side of trace-driven replay.
+//!
+//! Every way a workload can drive a [`Machine`](crate::engine::Machine) —
+//! traced instructions, bulk micro-op charges, analytic compute time, raw
+//! line traffic and phase barriers — passes through the engine's public
+//! API. A [`MachineObserver`] attached to the machine therefore sees the
+//! *complete* operation stream of a run, in execution order, which is
+//! exactly the information needed to persist the run and replay it later
+//! with bit-identical statistics (the `zcomp-replay` crate's job).
+//!
+//! The hooks are pull-free and allocation-free: when no observer is
+//! attached, each call site costs one branch on an `Option`.
+
+use zcomp_isa::instr::{AccessKind, Instr};
+use zcomp_isa::uops::UopCounts;
+
+use crate::engine::PhaseMode;
+
+/// Marker label emitted at the start of a kernel's measured window.
+///
+/// Kernels that separate warm-up from measurement (DeepBench-style steady
+/// state) emit this marker between the two, so a replay driver can
+/// reproduce the measured-window traffic and cycle deltas without knowing
+/// anything about the kernel that produced the trace.
+pub const MEASURE_START: &str = "measure-start";
+
+/// Receives every operation applied to a [`Machine`](crate::engine::Machine).
+///
+/// Callbacks fire *before* the operation takes effect; observers must not
+/// assume the machine state already reflects it. `Send` is required so a
+/// machine carrying an observer can still be created inside sweep worker
+/// threads; `Debug` keeps the engine's own derive intact.
+pub trait MachineObserver: std::fmt::Debug + Send {
+    /// One modelled instruction executed on `thread`.
+    fn on_exec(&mut self, thread: usize, instr: &Instr);
+
+    /// Analytic compute cycles charged to `thread`.
+    fn on_charge_compute(&mut self, thread: usize, cycles: f64);
+
+    /// A bulk micro-op batch accounted to `thread`.
+    fn on_add_uops(&mut self, thread: usize, counts: &UopCounts, instrs: u64);
+
+    /// A raw demand access (no owning instruction) by `thread`.
+    fn on_raw_access(&mut self, thread: usize, kind: AccessKind, addr: u64, bytes: u32);
+
+    /// A phase barrier closing under `mode`.
+    fn on_end_phase(&mut self, mode: PhaseMode);
+
+    /// A free-form marker (measured-window boundary, layer label, ...).
+    fn on_marker(&mut self, label: &str);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Machine;
+    use zcomp_isa::uops::UopTable;
+
+    /// Records a compact tag per callback, for ordering assertions.
+    #[derive(Debug, Default)]
+    struct TagObserver {
+        tags: Vec<String>,
+    }
+
+    impl MachineObserver for TagObserver {
+        fn on_exec(&mut self, thread: usize, instr: &Instr) {
+            self.tags.push(format!("exec:{thread}:{instr:?}"));
+        }
+        fn on_charge_compute(&mut self, thread: usize, cycles: f64) {
+            self.tags.push(format!("compute:{thread}:{cycles}"));
+        }
+        fn on_add_uops(&mut self, thread: usize, _counts: &UopCounts, instrs: u64) {
+            self.tags.push(format!("uops:{thread}:{instrs}"));
+        }
+        fn on_raw_access(&mut self, thread: usize, kind: AccessKind, addr: u64, bytes: u32) {
+            self.tags
+                .push(format!("raw:{thread}:{kind:?}:{addr}:{bytes}"));
+        }
+        fn on_end_phase(&mut self, mode: PhaseMode) {
+            self.tags.push(format!("phase:{mode:?}"));
+        }
+        fn on_marker(&mut self, label: &str) {
+            self.tags.push(format!("marker:{label}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_operation_in_order() {
+        let mut m = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+        m.set_observer(Some(Box::<TagObserver>::default()));
+        m.exec(0, &Instr::VLoad { addr: 0 });
+        m.raw_write(1, 4096, 64);
+        m.charge_compute(0, 10.0);
+        m.add_uops(1, &UopCounts::new(), 3);
+        m.marker(MEASURE_START);
+        m.end_phase(PhaseMode::Parallel);
+        let obs = m.set_observer(None).expect("observer attached");
+        let tags = format!("{obs:?}");
+        for needle in [
+            "exec:0:",
+            "raw:1:Write:4096:64",
+            "compute:0:10",
+            "uops:1:3",
+            "marker:measure-start",
+            "phase:Parallel",
+        ] {
+            assert!(tags.contains(needle), "missing {needle} in {tags}");
+        }
+    }
+
+    #[test]
+    fn detached_machine_runs_identically() {
+        let run = |observe: bool| {
+            let mut m = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+            if observe {
+                m.set_observer(Some(Box::<TagObserver>::default()));
+            }
+            for i in 0..64u64 {
+                m.exec(0, &Instr::VLoad { addr: i * 64 });
+            }
+            m.end_phase(PhaseMode::Parallel);
+            m.summary()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

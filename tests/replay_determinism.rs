@@ -1,0 +1,113 @@
+//! Determinism guard for the trace capture/replay subsystem.
+//!
+//! The trace cache is only sound if capture is a pure function of the
+//! simulated run: the same configuration captured twice must produce
+//! byte-identical `.ztrc` files, and replaying a capture must reproduce
+//! the original statistics exactly. These tests pin both properties at
+//! integration scale; CI repeats the byte-identity check through the
+//! `capture_run` binary.
+
+use std::path::Path;
+
+use zcomp::experiments::fig12;
+use zcomp::sweep::SweepOpts;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu, ReluOpts, ReluScheme};
+use zcomp_replay::{replay_file, CaptureSession, TraceMeta};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ztrc-det-{}-{name}", std::process::id()))
+}
+
+/// Captures one seeded zcomp ReLU run into `path` and returns the
+/// machine's whole-run summary.
+fn capture_once(path: &Path) -> zcomp_sim::engine::RunSummary {
+    let nnz = nnz_synthetic(4096, 0.53, 6.0, 0xDE7E_8813);
+    let mut machine = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+    let session =
+        CaptureSession::begin(path, TraceMeta::for_config(machine.config())).expect("begin");
+    machine.set_observer(Some(session.observer()));
+    let opts = ReluOpts {
+        threads: 2,
+        ..ReluOpts::default()
+    };
+    run_relu(&mut machine, ReluScheme::Zcomp, &nnz, &opts);
+    machine.set_observer(None);
+    session.finish("{}").expect("finish");
+    machine.summary()
+}
+
+#[test]
+fn same_run_captures_byte_identical_traces() {
+    let a = tmp("a.ztrc");
+    let b = tmp("b.ztrc");
+    capture_once(&a);
+    capture_once(&b);
+    let bytes_a = std::fs::read(&a).expect("read a");
+    let bytes_b = std::fs::read(&b).expect("read b");
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "capture must be deterministic");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn replay_reproduces_the_captured_summary() {
+    let path = tmp("replay.ztrc");
+    let reference = capture_once(&path);
+    let mut machine = Machine::new(SimConfig::test_tiny(), UopTable::skylake_x());
+    let outcome = replay_file(&path, &mut machine).expect("replay");
+    assert_eq!(
+        outcome.summary, reference,
+        "replay must reproduce all stats"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sweep_cache_directories_are_byte_identical() {
+    let configs = &zcomp_dnn::deepbench::suite_configs(zcomp_dnn::deepbench::Suite::ConvTrain)[..2];
+    let root_a = tmp("sweep-a");
+    let root_b = tmp("sweep-b");
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+    fig12::run_sweep(
+        configs,
+        4096,
+        0.53,
+        &SweepOpts::serial().with_cache(&root_a),
+    );
+    fig12::run_sweep(
+        configs,
+        4096,
+        0.53,
+        &SweepOpts::default().with_cache(&root_b).with_threads(4),
+    );
+
+    let list = |root: &Path| -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(root)
+            .expect("read cache dir")
+            .map(|e| {
+                let e = e.expect("dir entry");
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("read trace"),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    let a = list(&root_a);
+    let b = list(&root_b);
+    assert_eq!(a.len(), configs.len() * 3, "one trace per cell");
+    assert_eq!(
+        a, b,
+        "serial and parallel sweeps must capture identical traces"
+    );
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+}
