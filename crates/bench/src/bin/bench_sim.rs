@@ -1,0 +1,226 @@
+//! Benchmark-gated performance harness for the simulator hot path.
+//!
+//! Three modes:
+//!
+//! * `bench_sim --smoke` — miniature fig12-style sweep through BOTH
+//!   execution paths ([`ExecPath::Batched`] and [`ExecPath::Reference`]);
+//!   exits non-zero if any statistic diverges. Used by CI.
+//! * `bench_sim --micro` — isolated microbenchmarks: raw hierarchy
+//!   streaming, compress/expand throughput.
+//! * `bench_sim [--json BENCH_sim.json]` — times the cold fig12 sweep
+//!   under both paths and writes the result record.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::compress::{compress_f32, expand_f32};
+use zcomp_isa::stream::HeaderMode;
+use zcomp_isa::uops::UopTable;
+use zcomp_kernels::nnz::nnz_synthetic;
+use zcomp_kernels::relu::{run_relu_with_path, ExecPath, ReluOpts, ReluScheme};
+use zcomp_sim::config::SimConfig;
+use zcomp_sim::engine::Machine;
+use zcomp_sim::hierarchy::MemorySystem;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
+    match mode {
+        Some("--smoke") => smoke(),
+        Some("--micro") => micro(),
+        _ => full(&args),
+    }
+}
+
+/// Raw per-line demand-access cost of the memory hierarchy.
+fn micro() {
+    let cfg = SimConfig::table1();
+
+    // Streaming read: every line is new (the fig12 store pass shape).
+    let mut mem = MemorySystem::new(cfg.clone());
+    let lines = 2_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..lines {
+        mem.read((i % 16) as usize, 0x1000_0000 + i * 64, 64);
+    }
+    let dt = t0.elapsed();
+    println!(
+        "hierarchy stream read : {:>7.1} ns/line  ({} lines, {:?}, dram {} MiB)",
+        dt.as_nanos() as f64 / lines as f64,
+        lines,
+        dt,
+        mem.traffic().dram_bytes >> 20,
+    );
+
+    // Read + write interleave (store pass: read X, write Y).
+    let mut mem = MemorySystem::new(cfg.clone());
+    let t0 = Instant::now();
+    for i in 0..lines / 2 {
+        mem.read((i % 16) as usize, 0x1000_0000 + i * 64, 64);
+        mem.write((i % 16) as usize, 0x5000_0000 + i * 64, 64);
+    }
+    let dt = t0.elapsed();
+    println!(
+        "hierarchy read+write  : {:>7.1} ns/line  ({} lines, {:?})",
+        dt.as_nanos() as f64 / lines as f64,
+        lines,
+        dt,
+    );
+
+    // exec_batch over the zcomp store program.
+    let nnz = nnz_synthetic(1 << 20, 0.53, 6.0, 42);
+    let mut machine = Machine::new(cfg.clone(), UopTable::skylake_x());
+    let opts = ReluOpts::default();
+    let t0 = Instant::now();
+    run_relu_with_path(
+        &mut machine,
+        ReluScheme::Zcomp,
+        &nnz,
+        &opts,
+        ExecPath::Batched,
+    );
+    let dt = t0.elapsed();
+    let vectors = nnz.len() as f64 * 4.0; // 2 iterations x (store + load)
+    println!(
+        "relu zcomp batched    : {:>7.1} ns/vector ({:?})",
+        dt.as_nanos() as f64 / vectors,
+        dt,
+    );
+    let mut machine = Machine::new(cfg, UopTable::skylake_x());
+    let t0 = Instant::now();
+    run_relu_with_path(
+        &mut machine,
+        ReluScheme::Zcomp,
+        &nnz,
+        &opts,
+        ExecPath::Reference,
+    );
+    let dt = t0.elapsed();
+    println!(
+        "relu zcomp reference  : {:>7.1} ns/vector ({:?})",
+        dt.as_nanos() as f64 / vectors,
+        dt,
+    );
+
+    // Functional compress/expand throughput.
+    let elems = 1 << 22;
+    let data: Vec<f32> = (0..elems)
+        .map(|i| if i % 2 == 0 { 0.0 } else { i as f32 })
+        .collect();
+    let t0 = Instant::now();
+    let stream = compress_f32(&data, CompareCond::Eqz).expect("compress");
+    let dt = t0.elapsed();
+    println!(
+        "compress_f32          : {:>7.1} GiB/s   ({:?})",
+        (elems * 4) as f64 / dt.as_secs_f64() / (1u64 << 30) as f64,
+        dt,
+    );
+    let t0 = Instant::now();
+    let round = expand_f32(&stream).expect("expand");
+    let dt = t0.elapsed();
+    assert_eq!(round.len(), data.len());
+    println!(
+        "expand_f32            : {:>7.1} GiB/s   ({:?})",
+        (elems * 4) as f64 / dt.as_secs_f64() / (1u64 << 30) as f64,
+        dt,
+    );
+}
+
+/// Differential smoke sweep: both paths, every scheme, assert equality.
+fn smoke() {
+    let mut failures = 0u32;
+    for (scheme, header_mode, threads, unroll) in [
+        (ReluScheme::Avx512Vec, HeaderMode::Interleaved, 16, 1),
+        (ReluScheme::Avx512Comp, HeaderMode::Interleaved, 16, 1),
+        (ReluScheme::Zcomp, HeaderMode::Interleaved, 16, 1),
+        (ReluScheme::Zcomp, HeaderMode::Separate, 16, 1),
+        (ReluScheme::Zcomp, HeaderMode::Interleaved, 7, 4),
+        (ReluScheme::Zcomp, HeaderMode::Separate, 1, 2),
+    ] {
+        let nnz = nnz_synthetic(64 * 1024, 0.53, 6.0, 9);
+        let opts = ReluOpts {
+            threads,
+            header_mode,
+            unroll,
+            ..ReluOpts::default()
+        };
+        let run = |path| {
+            let mut m = Machine::new(SimConfig::table1(), UopTable::skylake_x());
+            let r = run_relu_with_path(&mut m, scheme, &nnz, &opts, path);
+            (r, m.summary())
+        };
+        let (r_fast, s_fast) = run(ExecPath::Batched);
+        let (r_ref, s_ref) = run(ExecPath::Reference);
+        let fast_json = serde_json::to_string(&(&r_fast, &s_fast)).expect("serialize");
+        let ref_json = serde_json::to_string(&(&r_ref, &s_ref)).expect("serialize");
+        let tag = format!("{scheme} {header_mode:?} t{threads} u{unroll}");
+        if fast_json == ref_json {
+            println!("OK   {tag}");
+        } else {
+            println!("FAIL {tag}: batched and reference paths diverge");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_sim --smoke: {failures} divergent configurations");
+        std::process::exit(1);
+    }
+    println!("bench_sim --smoke: all configurations bit-identical");
+}
+
+/// Times the cold fig12 sweep under both paths and writes BENCH_sim.json.
+fn full(args: &[String]) {
+    let mut json_path = None;
+    let mut scale = 64usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale integer")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let time_path = |path: ExecPath| -> (f64, String) {
+        let t0 = Instant::now();
+        let result = zcomp::experiments::fig12::run_with_path(scale, 0.53, path);
+        let dt = t0.elapsed().as_secs_f64();
+        (dt, serde_json::to_string(&result).expect("serialize"))
+    };
+    let (ref_secs, ref_json) = time_path(ExecPath::Reference);
+    let (fast_secs, fast_json) = time_path(ExecPath::Batched);
+    assert_eq!(
+        ref_json, fast_json,
+        "batched and reference fig12 sweeps must be bit-identical"
+    );
+    #[derive(Serialize)]
+    struct BenchRecord {
+        benchmark: &'static str,
+        scale: usize,
+        reference_secs: f64,
+        batched_secs: f64,
+        speedup: f64,
+        paths_bit_identical: bool,
+    }
+    let record = BenchRecord {
+        benchmark: "fig12_cold_sweep",
+        scale,
+        reference_secs: ref_secs,
+        batched_secs: fast_secs,
+        speedup: ref_secs / fast_secs,
+        paths_bit_identical: true,
+    };
+    println!("{}", serde_json::to_string_pretty(&record).expect("json"));
+    if let Some(p) = json_path {
+        std::fs::write(&p, serde_json::to_string_pretty(&record).expect("json"))
+            .expect("write json");
+        println!("wrote {p}");
+    }
+}

@@ -210,6 +210,65 @@ pub fn generate_activations(elements: usize, sparsity: f64, mean_run: f64, seed:
     out
 }
 
+/// Streams the [`generate_activations`] Markov chain directly into
+/// per-vector nonzero counts (16 lanes per count) without materializing
+/// the `f32` buffer.
+///
+/// Draw-for-draw identical to `generate_activations` followed by counting
+/// nonzero lanes per 16-element vector: the chain makes the same RNG calls
+/// in the same order, and a generated value is nonzero exactly when the
+/// chain is in the nonzero state (magnitudes are bounded below by 1e-4).
+/// A trailing partial vector counts only its real elements, matching the
+/// zero-padded tail of the buffer path.
+pub fn generate_activation_nnz(
+    elements: usize,
+    sparsity: f64,
+    mean_run: f64,
+    seed: u64,
+    out: &mut Vec<u8>,
+) {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    assert!(mean_run >= 1.0, "mean run length must be >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mean_run = if sparsity < 1.0 {
+        mean_run.max(sparsity / (1.0 - sparsity) * 1.05)
+    } else {
+        mean_run
+    };
+    let p_exit_zero = 1.0 / mean_run;
+    let p_enter_zero = if sparsity >= 1.0 {
+        1.0
+    } else {
+        (sparsity * p_exit_zero / (1.0 - sparsity)).min(1.0)
+    };
+    let p_exit = p_exit_zero.clamp(0.0, 1.0);
+    let p_enter = p_enter_zero.clamp(0.0, 1.0);
+    let mut in_zero = rng.gen_bool(sparsity.clamp(0.0, 1.0));
+    out.reserve(elements.div_ceil(16));
+    let mut produced = 0usize;
+    while produced < elements {
+        let lanes = 16.min(elements - produced);
+        let mut nnz = 0u8;
+        for _ in 0..lanes {
+            if in_zero {
+                if rng.gen_bool(p_exit) {
+                    in_zero = false;
+                }
+            } else {
+                // Advance the generator exactly as the buffer path's
+                // magnitude draws do; the value itself is discarded.
+                let _ = rng.gen_range(0.0f32..1.0).max(1e-3) * rng.gen_range(0.1f32..2.0);
+                nnz += 1;
+                if rng.gen_bool(p_enter) {
+                    in_zero = true;
+                }
+            }
+        }
+        out.push(nnz);
+        produced += lanes;
+    }
+}
+
 /// Generates a pre-activation buffer for a ReLU layer: the fraction
 /// `negative_fraction` of elements are `<= 0` (they become zeros under the
 /// fused `_LTEZ` comparison), clustered like [`generate_activations`].

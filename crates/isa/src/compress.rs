@@ -95,6 +95,10 @@ pub fn compress_f32_with(
         });
     }
     let mut w = CompressedWriter::new(ElemType::F32, mode);
+    // No sparsity estimate is available here, so reserve the
+    // incompressible upper bound — one allocation instead of log2(n)
+    // growth doublings.
+    w.reserve_vectors(data.len() / lanes, 1.0);
     for chunk in data.chunks_exact(lanes) {
         let v = Vec512::from_f32_lanes(chunk);
         // The writer is unbounded so this cannot overflow, but forward the
@@ -119,11 +123,9 @@ pub fn compress_f32_with(
 /// Returns [`ZcompError::Truncated`] if the stream is malformed.
 pub fn expand_f32(stream: &CompressedStream) -> Result<Vec<f32>, ZcompError> {
     let _span = zcomp_trace::tracer::span("isa", "expand_f32");
-    let mut out = Vec::with_capacity(stream.elements());
-    let mut r = stream.reader();
-    while let Some(v) = r.read_vector()? {
-        out.extend_from_slice(&v.to_f32_lanes());
-    }
+    let mut out = vec![0.0f32; stream.elements()];
+    let written = expand_f32_into(stream, &mut out)?;
+    debug_assert_eq!(written, out.len());
     Ok(out)
 }
 

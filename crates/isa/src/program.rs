@@ -1,0 +1,435 @@
+//! Decoded instruction programs for batched kernel execution.
+//!
+//! The ReLU kernels emit the same short instruction sequence for every
+//! vector of the tensor; only the addresses (strided cursors) and the
+//! dynamic sizes (per-vector NNZ) change between iterations. A
+//! [`InstrProgram`] captures that loop body once — a flat buffer of
+//! decoded [`ProgramOp`]s plus precomputed per-iteration micro-op counts —
+//! so the simulator's batch executor can replay it across a whole tensor
+//! without re-constructing an [`Instr`] and re-decoding its micro-ops per
+//! operation.
+//!
+//! The equivalence invariant: for every op, materializing the [`Instr`]
+//! via [`ProgramOp::instr`] and extracting its accesses with
+//! [`Instr::mem_accesses`] yields exactly the accesses
+//! [`ProgramOp::accesses`] produces, and [`ProgramOp::advance`] moves the
+//! cursors exactly as the reference kernel's pointer arithmetic does. The
+//! unit tests below check this exhaustively over the op vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::{Instr, MemAccess};
+use crate::stream::HeaderMode;
+use crate::uops::UopCounts;
+
+/// Per-lane address cursors a program reads and advances: the input
+/// pointer `x`, the (possibly compressed) output pointer `y` and the
+/// header pointer `h`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cursors {
+    /// Input tensor pointer (advances 64 bytes per vector).
+    pub x: u64,
+    /// Output data pointer (stride depends on the scheme and NNZ).
+    pub y: u64,
+    /// Header pointer (2 bytes per vector where used).
+    pub h: u64,
+}
+
+/// Which cursor a full-width vector access uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reg {
+    /// The input cursor `x`.
+    X,
+    /// The output cursor `y`.
+    Y,
+}
+
+/// One decoded operation of an instruction program.
+///
+/// Each op is an [`Instr`] with its address operands replaced by a cursor
+/// selector and its dynamic size replaced by the iteration's NNZ — the
+/// "stride descriptor" form the batch executor consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProgramOp {
+    /// 64-byte vector load through the selected cursor (advances it 64).
+    VLoad(Reg),
+    /// 64-byte vector store through the selected cursor (advances it 64).
+    VStore(Reg),
+    /// Reg-reg ReLU; no memory.
+    VMaxPs,
+    /// Mask compare; no memory.
+    VCmpPsMask,
+    /// Mask move + popcount; no memory.
+    KmovPopcnt,
+    /// Scalar index add; no memory.
+    ScalarAdd,
+    /// Masked compress-store of `nnz * 4` bytes at `y` (advances `y`).
+    VCompressStore,
+    /// Masked expand-load of `nnz * 4` bytes at `y` (advances `y`).
+    VExpandLoad,
+    /// 2-byte header store at `h` (advances `h`).
+    StoreMask,
+    /// 2-byte header load at `h` (advances `h`).
+    LoadMask,
+    /// `zcomps` with the given header placement (advances `y` and, for
+    /// the separate variant, `h`).
+    ZcompS(HeaderMode),
+    /// `zcompl` with the given header placement (advances `y` and, for
+    /// the separate variant, `h`).
+    ZcompL(HeaderMode),
+}
+
+impl ProgramOp {
+    /// ZCOMP data bytes for this iteration: header + payload when
+    /// interleaved, payload only when separate.
+    #[inline(always)]
+    fn zcomp_bytes(mode: HeaderMode, nnz: u32) -> u32 {
+        match mode {
+            HeaderMode::Interleaved => 2 + nnz * 4,
+            HeaderMode::Separate => nnz * 4,
+        }
+    }
+
+    /// Materializes the [`Instr`] this op stands for at the current cursor
+    /// positions (without advancing them) — the observed fallback path.
+    pub fn instr(&self, cur: &Cursors, nnz: u32) -> Instr {
+        match *self {
+            ProgramOp::VLoad(r) => Instr::VLoad {
+                addr: match r {
+                    Reg::X => cur.x,
+                    Reg::Y => cur.y,
+                },
+            },
+            ProgramOp::VStore(r) => Instr::VStore {
+                addr: match r {
+                    Reg::X => cur.x,
+                    Reg::Y => cur.y,
+                },
+            },
+            ProgramOp::VMaxPs => Instr::VMaxPs,
+            ProgramOp::VCmpPsMask => Instr::VCmpPsMask,
+            ProgramOp::KmovPopcnt => Instr::KmovPopcnt,
+            ProgramOp::ScalarAdd => Instr::ScalarAdd,
+            ProgramOp::VCompressStore => Instr::VCompressStore {
+                addr: cur.y,
+                bytes: nnz * 4,
+            },
+            ProgramOp::VExpandLoad => Instr::VExpandLoad {
+                addr: cur.y,
+                bytes: nnz * 4,
+            },
+            ProgramOp::StoreMask => Instr::StoreMask { addr: cur.h },
+            ProgramOp::LoadMask => Instr::LoadMask { addr: cur.h },
+            ProgramOp::ZcompS(mode) => Instr::ZcompS {
+                variant: mode,
+                addr: cur.y,
+                bytes: Self::zcomp_bytes(mode, nnz),
+                header_addr: match mode {
+                    HeaderMode::Interleaved => None,
+                    HeaderMode::Separate => Some(cur.h),
+                },
+                header_bytes: 2,
+            },
+            ProgramOp::ZcompL(mode) => Instr::ZcompL {
+                variant: mode,
+                addr: cur.y,
+                bytes: Self::zcomp_bytes(mode, nnz),
+                header_addr: match mode {
+                    HeaderMode::Interleaved => None,
+                    HeaderMode::Separate => Some(cur.h),
+                },
+                header_bytes: 2,
+            },
+        }
+    }
+
+    /// Advances the cursors past this op, mirroring the reference
+    /// kernel's pointer arithmetic.
+    #[inline(always)]
+    pub fn advance(&self, cur: &mut Cursors, nnz: u32) {
+        match *self {
+            ProgramOp::VLoad(Reg::X) | ProgramOp::VStore(Reg::X) => cur.x += 64,
+            ProgramOp::VLoad(Reg::Y) | ProgramOp::VStore(Reg::Y) => cur.y += 64,
+            ProgramOp::VMaxPs
+            | ProgramOp::VCmpPsMask
+            | ProgramOp::KmovPopcnt
+            | ProgramOp::ScalarAdd => {}
+            ProgramOp::VCompressStore | ProgramOp::VExpandLoad => cur.y += u64::from(nnz) * 4,
+            ProgramOp::StoreMask | ProgramOp::LoadMask => cur.h += 2,
+            ProgramOp::ZcompS(mode) | ProgramOp::ZcompL(mode) => {
+                cur.y += u64::from(Self::zcomp_bytes(mode, nnz));
+                if mode == HeaderMode::Separate {
+                    cur.h += 2;
+                }
+            }
+        }
+    }
+
+    /// Fast path: the op's memory accesses at the current cursors (in
+    /// issue order; at most two), advancing the cursors. Equivalent to
+    /// `self.instr(cur, nnz).mem_accesses(..)` followed by
+    /// [`advance`](Self::advance), without constructing the [`Instr`].
+    #[inline(always)]
+    pub fn accesses(&self, cur: &mut Cursors, nnz: u32) -> (Option<MemAccess>, Option<MemAccess>) {
+        match *self {
+            ProgramOp::VLoad(r) => {
+                let p = match r {
+                    Reg::X => &mut cur.x,
+                    Reg::Y => &mut cur.y,
+                };
+                let a = MemAccess::read(*p, 64);
+                *p += 64;
+                (Some(a), None)
+            }
+            ProgramOp::VStore(r) => {
+                let p = match r {
+                    Reg::X => &mut cur.x,
+                    Reg::Y => &mut cur.y,
+                };
+                let a = MemAccess::write(*p, 64);
+                *p += 64;
+                (Some(a), None)
+            }
+            ProgramOp::VMaxPs
+            | ProgramOp::VCmpPsMask
+            | ProgramOp::KmovPopcnt
+            | ProgramOp::ScalarAdd => (None, None),
+            ProgramOp::VCompressStore => {
+                let bytes = nnz * 4;
+                let a = (bytes > 0).then(|| MemAccess::write(cur.y, bytes));
+                cur.y += u64::from(bytes);
+                (a, None)
+            }
+            ProgramOp::VExpandLoad => {
+                let bytes = nnz * 4;
+                let a = (bytes > 0).then(|| MemAccess::read(cur.y, bytes));
+                cur.y += u64::from(bytes);
+                (a, None)
+            }
+            ProgramOp::StoreMask => {
+                let a = MemAccess::write(cur.h, 2);
+                cur.h += 2;
+                (Some(a), None)
+            }
+            ProgramOp::LoadMask => {
+                let a = MemAccess::read(cur.h, 2);
+                cur.h += 2;
+                (Some(a), None)
+            }
+            ProgramOp::ZcompS(mode) => {
+                let bytes = Self::zcomp_bytes(mode, nnz);
+                // Data store first, then the separate header store —
+                // matching `Instr::mem_accesses`.
+                let data = (bytes > 0).then(|| MemAccess::write(cur.y, bytes));
+                cur.y += u64::from(bytes);
+                match mode {
+                    HeaderMode::Interleaved => (data, None),
+                    HeaderMode::Separate => {
+                        let h = MemAccess::write(cur.h, 2);
+                        cur.h += 2;
+                        (data, Some(h))
+                    }
+                }
+            }
+            ProgramOp::ZcompL(mode) => {
+                let bytes = Self::zcomp_bytes(mode, nnz);
+                match mode {
+                    HeaderMode::Interleaved => {
+                        let a = (bytes > 0).then(|| MemAccess::read(cur.y, bytes));
+                        cur.y += u64::from(bytes);
+                        (a, None)
+                    }
+                    HeaderMode::Separate => {
+                        // Header read first, then the data read.
+                        let h = MemAccess::read(cur.h, 2);
+                        cur.h += 2;
+                        let data = (bytes > 0).then(|| MemAccess::read(cur.y, bytes));
+                        cur.y += u64::from(bytes);
+                        (Some(h), data)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A pre-decoded loop body: the ops of one iteration (excluding the loop
+/// overhead, which the executor appends every `unroll`-th iteration) plus
+/// the per-iteration micro-op totals, precomputed so batch accounting is
+/// a closed-form multiply instead of a per-op table walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrProgram {
+    ops: Vec<ProgramOp>,
+    unroll: usize,
+    body_uops: UopCounts,
+    overhead_uops: UopCounts,
+}
+
+impl InstrProgram {
+    /// Decodes a loop body. `unroll` is the kernel's unroll factor: the
+    /// loop overhead fires on iterations where `step % unroll == 0`
+    /// (0 is treated as 1, matching the kernels).
+    pub fn new(ops: Vec<ProgramOp>, unroll: usize) -> Self {
+        let mut body_uops = UopCounts::new();
+        for op in &ops {
+            // Uop decomposition depends only on the op kind and variant,
+            // never on addresses or NNZ.
+            op.instr(&Cursors::default(), 0).add_uops(&mut body_uops);
+        }
+        let mut overhead_uops = UopCounts::new();
+        Instr::LoopOverhead.add_uops(&mut overhead_uops);
+        InstrProgram {
+            ops,
+            unroll: unroll.max(1),
+            body_uops,
+            overhead_uops,
+        }
+    }
+
+    /// The decoded loop body in issue order.
+    pub fn ops(&self) -> &[ProgramOp] {
+        &self.ops
+    }
+
+    /// Effective unroll factor (>= 1).
+    pub fn unroll(&self) -> usize {
+        self.unroll
+    }
+
+    /// Micro-ops of one loop-body iteration.
+    pub fn body_uops(&self) -> &UopCounts {
+        &self.body_uops
+    }
+
+    /// Micro-ops of one loop-overhead instruction.
+    pub fn overhead_uops(&self) -> &UopCounts {
+        &self.overhead_uops
+    }
+
+    /// Instructions per loop-body iteration (excluding loop overhead).
+    pub fn body_instructions(&self) -> u64 {
+        self.ops.len() as u64
+    }
+
+    /// How many times the loop overhead fires over `vectors` iterations
+    /// (iterations `0, unroll, 2*unroll, ...`).
+    pub fn overhead_fires(&self, vectors: usize) -> u64 {
+        (vectors as u64).div_ceil(self.unroll as u64)
+    }
+}
+
+/// Per-lane (per-thread-chunk) state for one batched pass: which thread
+/// issues the ops, the lane's slice of the NNZ sequence, and its cursors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchLane {
+    /// Issuing hardware thread.
+    pub thread: usize,
+    /// First vector index of this lane's chunk in the global NNZ slice.
+    pub first_vec: usize,
+    /// Vectors this lane processes.
+    pub vectors: usize,
+    /// The lane's address cursors.
+    pub cursors: Cursors,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<ProgramOp> {
+        vec![
+            ProgramOp::VLoad(Reg::X),
+            ProgramOp::VLoad(Reg::Y),
+            ProgramOp::VStore(Reg::X),
+            ProgramOp::VStore(Reg::Y),
+            ProgramOp::VMaxPs,
+            ProgramOp::VCmpPsMask,
+            ProgramOp::KmovPopcnt,
+            ProgramOp::ScalarAdd,
+            ProgramOp::VCompressStore,
+            ProgramOp::VExpandLoad,
+            ProgramOp::StoreMask,
+            ProgramOp::LoadMask,
+            ProgramOp::ZcompS(HeaderMode::Interleaved),
+            ProgramOp::ZcompS(HeaderMode::Separate),
+            ProgramOp::ZcompL(HeaderMode::Interleaved),
+            ProgramOp::ZcompL(HeaderMode::Separate),
+        ]
+    }
+
+    /// The equivalence invariant: `accesses` must equal materializing the
+    /// `Instr`, extracting its accesses, then advancing — for every op and
+    /// every NNZ, including the zero-payload edge.
+    #[test]
+    fn accesses_match_materialized_instr() {
+        for op in all_ops() {
+            for nnz in [0u32, 1, 7, 16] {
+                let start = Cursors {
+                    x: 0x1000,
+                    y: 0x2000,
+                    h: 0x3000,
+                };
+                let mut ref_acc = Vec::new();
+                op.instr(&start, nnz).mem_accesses(&mut ref_acc);
+                let mut ref_cur = start;
+                op.advance(&mut ref_cur, nnz);
+
+                let mut fast_cur = start;
+                let (a, b) = op.accesses(&mut fast_cur, nnz);
+                let fast_acc: Vec<MemAccess> = [a, b].into_iter().flatten().collect();
+
+                assert_eq!(fast_acc, ref_acc, "{op:?} nnz={nnz}: accesses");
+                assert_eq!(fast_cur, ref_cur, "{op:?} nnz={nnz}: cursors");
+            }
+        }
+    }
+
+    #[test]
+    fn body_uops_match_per_op_decode() {
+        let ops = vec![
+            ProgramOp::VLoad(Reg::X),
+            ProgramOp::VCmpPsMask,
+            ProgramOp::KmovPopcnt,
+            ProgramOp::VCompressStore,
+            ProgramOp::ScalarAdd,
+            ProgramOp::StoreMask,
+        ];
+        let p = InstrProgram::new(ops.clone(), 1);
+        let mut expect = UopCounts::new();
+        for op in &ops {
+            op.instr(&Cursors::default(), 9).add_uops(&mut expect);
+        }
+        assert_eq!(*p.body_uops(), expect);
+        assert_eq!(p.body_instructions(), 6);
+        let mut overhead = UopCounts::new();
+        Instr::LoopOverhead.add_uops(&mut overhead);
+        assert_eq!(*p.overhead_uops(), overhead);
+    }
+
+    #[test]
+    fn overhead_fires_matches_step_modulo() {
+        for unroll in [0usize, 1, 2, 3, 4, 7] {
+            let p = InstrProgram::new(vec![ProgramOp::VMaxPs], unroll);
+            for vectors in 0..40usize {
+                let expect = (0..vectors).filter(|s| s % unroll.max(1) == 0).count() as u64;
+                assert_eq!(
+                    p.overhead_fires(vectors),
+                    expect,
+                    "unroll={unroll} vectors={vectors}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zcomp_separate_orders_header_after_store_before_load() {
+        let mut cur = Cursors::default();
+        let (a, b) = ProgramOp::ZcompS(HeaderMode::Separate).accesses(&mut cur, 4);
+        assert_eq!(a.unwrap().kind, crate::instr::AccessKind::Write);
+        assert_eq!(b.unwrap().bytes, 2, "header write second");
+        let mut cur = Cursors::default();
+        let (a, b) = ProgramOp::ZcompL(HeaderMode::Separate).accesses(&mut cur, 4);
+        assert_eq!(a.unwrap().bytes, 2, "header read first");
+        assert_eq!(b.unwrap().bytes, 16, "data read second");
+    }
+}

@@ -319,6 +319,26 @@ impl CompressedWriter {
         self.ty
     }
 
+    /// Preallocates the destination buffers for `vectors` more vectors
+    /// whose expected kept-lane fraction is `density` (1.0 =
+    /// incompressible).
+    ///
+    /// Purely an allocation hint — stream contents and error behaviour are
+    /// unaffected. An inaccurate hint costs at most one extra growth
+    /// doubling, so callers round `density` up rather than down.
+    pub fn reserve_vectors(&mut self, vectors: usize, density: f64) {
+        let hb = self.ty.header_bytes();
+        let lane_bytes = self.ty.lanes() * self.ty.size_bytes();
+        let payload = (lane_bytes as f64 * density.clamp(0.0, 1.0)).ceil() as usize;
+        match self.mode {
+            HeaderMode::Interleaved => self.data.reserve(vectors * (hb + payload)),
+            HeaderMode::Separate => {
+                self.data.reserve(vectors * payload);
+                self.headers.reserve(vectors * hb);
+            }
+        }
+    }
+
     /// Current data-region write offset — the value the auto-incremented
     /// `reg2` pointer would hold.
     pub fn data_offset(&self) -> usize {
@@ -374,8 +394,23 @@ impl CompressedWriter {
             HeaderMode::Interleaved => self.data.extend_from_slice(&header_buf[..hb]),
             HeaderMode::Separate => self.headers.extend_from_slice(&header_buf[..hb]),
         }
-        for lane in mask.iter_set() {
-            self.data.extend_from_slice(v.lane_bytes(self.ty, lane));
+        // Word-level compaction: kept lanes are contiguous in the source
+        // register wherever the mask has a run of set bits, so each run
+        // becomes one bulk copy instead of a per-lane append. Packed order
+        // is identical to the lane-at-a-time loop (runs are visited low
+        // lane first).
+        let es = self.ty.size_bytes();
+        let src = v.as_bytes();
+        let mut bits = mask.bits();
+        while bits != 0 {
+            let start = bits.trailing_zeros() as usize;
+            let run = (bits >> start).trailing_ones() as usize;
+            self.data
+                .extend_from_slice(&src[start * es..(start + run) * es]);
+            if start + run >= 64 {
+                break; // run reached the top bit; nothing left to clear
+            }
+            bits &= !(((1u64 << run) - 1) << start);
         }
         self.vectors += 1;
         self.total_nnz += u64::from(header.nnz());
@@ -469,9 +504,22 @@ impl<'a> CompressedReader<'a> {
         }
         let mut v = Vec512::ZERO;
         let es = ty.size_bytes();
-        for (k, lane) in header.mask().iter_set().enumerate() {
-            let start = self.data_pos + k * es;
-            v.set_lane_bytes(ty, lane, &self.stream.data[start..start + es]);
+        // Run-based scatter, mirroring the writer's compaction: each run
+        // of set header bits is one contiguous copy from the packed
+        // payload into the destination lanes.
+        let out = v.as_bytes_mut();
+        let mut bits = header.mask().bits();
+        let mut src = self.data_pos;
+        while bits != 0 {
+            let start = bits.trailing_zeros() as usize;
+            let run = (bits >> start).trailing_ones() as usize;
+            let n = run * es;
+            out[start * es..start * es + n].copy_from_slice(&self.stream.data[src..src + n]);
+            src += n;
+            if start + run >= 64 {
+                break;
+            }
+            bits &= !(((1u64 << run) - 1) << start);
         }
         self.data_pos += payload;
         self.vectors_read += 1;

@@ -1,0 +1,163 @@
+//! Differential property tests for the run-compacted stream codec.
+//!
+//! The `CompressedWriter`/`CompressedReader` hot paths copy whole runs of
+//! kept lanes per header word. These properties pin them against a
+//! deliberately naive lane-at-a-time reference, across every element type,
+//! both compare conditions and both header placements — including the
+//! full-mask I8 case where a single run spans all 64 header bits.
+
+use proptest::prelude::*;
+
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::header::Header;
+use zcomp_isa::stream::{CompressedWriter, HeaderMode};
+use zcomp_isa::vec512::Vec512;
+
+const TYPES: [ElemType; 5] = [
+    ElemType::F32,
+    ElemType::F64,
+    ElemType::F16,
+    ElemType::I32,
+    ElemType::I8,
+];
+
+/// Lane-at-a-time reference emission of one vector: header bytes followed
+/// by (or beside) each kept lane appended individually.
+fn reference_write(
+    v: &Vec512,
+    ty: ElemType,
+    cond: CompareCond,
+    mode: HeaderMode,
+    data: &mut Vec<u8>,
+    headers: &mut Vec<u8>,
+) {
+    let mask = cond.keep_mask(v, ty);
+    let header = Header::new(mask);
+    let hb = ty.header_bytes();
+    let mut hbuf = [0u8; 8];
+    header.write_to(ty, &mut hbuf[..hb]);
+    match mode {
+        HeaderMode::Interleaved => data.extend_from_slice(&hbuf[..hb]),
+        HeaderMode::Separate => headers.extend_from_slice(&hbuf[..hb]),
+    }
+    for i in 0..ty.lanes() {
+        if mask.is_set(i) {
+            data.extend_from_slice(v.lane_bytes(ty, i));
+        }
+    }
+}
+
+/// Lane-at-a-time reference expansion against the kept lanes of `original`.
+fn reference_expand(original: &Vec512, ty: ElemType, cond: CompareCond) -> Vec512 {
+    let mask = cond.keep_mask(original, ty);
+    let mut out = Vec512::ZERO;
+    for i in 0..ty.lanes() {
+        if mask.is_set(i) {
+            out.set_lane_bytes(ty, i, original.lane_bytes(ty, i));
+        }
+    }
+    out
+}
+
+/// Builds a vector from raw bytes, zeroing each 8-byte group whose control
+/// bit is set so every sparsity pattern (empty, ragged runs, full) appears.
+fn vector_from(bytes: &[u8; 64], zero_groups: u8) -> Vec512 {
+    let mut v = Vec512::ZERO;
+    let out = v.as_bytes_mut();
+    out.copy_from_slice(bytes);
+    for g in 0..8 {
+        if zero_groups >> g & 1 != 0 {
+            out[g * 8..(g + 1) * 8].fill(0);
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Writer bytes, headers, counters and reader roundtrip all match the
+    /// lane-at-a-time reference for arbitrary vectors of every type.
+    #[test]
+    fn stream_matches_lane_at_a_time_reference(
+        raw in proptest::collection::vec(proptest::collection::vec(0u8..=255, 64), 1..20),
+        zero_groups in proptest::collection::vec(0u8..=255, 1..20),
+        ty_idx in 0usize..TYPES.len(),
+        interleaved in 0u8..2,
+        ltez in 0u8..2,
+    ) {
+        let ty = TYPES[ty_idx];
+        let mode = if interleaved != 0 { HeaderMode::Interleaved } else { HeaderMode::Separate };
+        let cond = if ltez != 0 { CompareCond::Ltez } else { CompareCond::Eqz };
+        let vectors: Vec<Vec512> = raw
+            .iter()
+            .zip(zero_groups.iter().cycle())
+            .map(|(bytes, &zg)| {
+                let mut b = [0u8; 64];
+                b.copy_from_slice(bytes);
+                vector_from(&b, zg)
+            })
+            .collect();
+
+        let mut writer = CompressedWriter::new(ty, mode);
+        writer.reserve_vectors(vectors.len(), 0.5);
+        let mut ref_data = Vec::new();
+        let mut ref_headers = Vec::new();
+        let mut ref_nnz = 0u64;
+        for v in &vectors {
+            let h = writer.write_vector(v, cond).expect("unbounded write");
+            prop_assert_eq!(h.nnz(), cond.keep_mask(v, ty).popcount());
+            reference_write(v, ty, cond, mode, &mut ref_data, &mut ref_headers);
+            ref_nnz += u64::from(h.nnz());
+        }
+        let stream = writer.finish();
+        prop_assert_eq!(stream.data(), &ref_data[..]);
+        prop_assert_eq!(stream.headers(), &ref_headers[..]);
+        prop_assert_eq!(stream.vectors(), vectors.len());
+        prop_assert_eq!(stream.total_nnz(), ref_nnz);
+
+        let mut reader = stream.reader();
+        for v in &vectors {
+            let got = reader.read_vector().expect("read").expect("vector present");
+            let want = reference_expand(v, ty, cond);
+            prop_assert_eq!(got.as_bytes(), want.as_bytes());
+        }
+        prop_assert!(reader.read_vector().expect("end").is_none());
+    }
+}
+
+/// The I8 full-mask vector sets all 64 header bits: the compaction loop's
+/// single run covers the whole mask and must terminate without shifting by
+/// the word width.
+#[test]
+fn i8_full_mask_single_run() {
+    for mode in [HeaderMode::Interleaved, HeaderMode::Separate] {
+        let mut v = Vec512::ZERO;
+        for (i, b) in v.as_bytes_mut().iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37) | 1; // every lane nonzero
+        }
+        let mut writer = CompressedWriter::new(ElemType::I8, mode);
+        let h = writer.write_vector(&v, CompareCond::Eqz).expect("write");
+        assert_eq!(h.nnz(), 64);
+        let stream = writer.finish();
+        let mut ref_data = Vec::new();
+        let mut ref_headers = Vec::new();
+        reference_write(
+            &v,
+            ElemType::I8,
+            CompareCond::Eqz,
+            mode,
+            &mut ref_data,
+            &mut ref_headers,
+        );
+        assert_eq!(stream.data(), &ref_data[..]);
+        assert_eq!(stream.headers(), &ref_headers[..]);
+        let got = stream
+            .reader()
+            .read_vector()
+            .expect("read")
+            .expect("vector");
+        assert_eq!(got.as_bytes(), v.as_bytes());
+    }
+}

@@ -45,4 +45,4 @@ pub use network_exec::{
     run_network, run_network_faulted, FaultedNetworkRunResult, NetworkExecOpts, NetworkRunResult,
 };
 pub use partition::{partition, Chunk, Parallelization};
-pub use relu::{run_relu, ReluOpts, ReluRunResult, ReluScheme};
+pub use relu::{run_relu, run_relu_with_path, ExecPath, ReluOpts, ReluRunResult, ReluScheme};

@@ -11,7 +11,7 @@ use zcomp_isa::ccf::CompareCond;
 use zcomp_isa::dtype::ElemType;
 use zcomp_isa::vec512::Vec512;
 
-use zcomp_dnn::sparsity::generate_activations;
+use zcomp_dnn::sparsity::generate_activation_nnz;
 
 /// Lanes per fp32 vector.
 pub const LANES: usize = 16;
@@ -52,6 +52,11 @@ pub fn nnz_from_data(data: &[f32], cond: CompareCond) -> Vec<u8> {
 ///
 /// The generated values are post-activation (zero or positive), so the
 /// sequence is identical under `_EQZ` and `_LTEZ`.
+///
+/// Uses the fused counting generator: the Markov chain streams directly
+/// into per-vector counts without materializing the `f32` chunk. The
+/// chunk boundaries and per-chunk seeds are unchanged, so the output is
+/// byte-identical to generating each chunk and counting it.
 pub fn nnz_synthetic(elements: usize, sparsity: f64, mean_run: f64, seed: u64) -> Vec<u8> {
     const CHUNK_ELEMS: usize = 1 << 20; // 1M elements = 4 MB per chunk
     let vectors = elements.div_ceil(LANES);
@@ -66,13 +71,13 @@ pub fn nnz_synthetic(elements: usize, sparsity: f64, mean_run: f64, seed: u64) -
         } else {
             n
         };
-        let data = generate_activations(
+        generate_activation_nnz(
             n,
             sparsity,
             mean_run,
             seed ^ chunk_idx.wrapping_mul(0xABCD_1234),
+            &mut out,
         );
-        out.extend(nnz_from_data(&data, CompareCond::Eqz));
         produced += n;
         chunk_idx += 1;
     }
@@ -123,6 +128,44 @@ mod tests {
     #[test]
     fn payload_bytes_counts_fp32() {
         assert_eq!(payload_bytes(&[16, 0, 8]), (16 + 8) * 4);
+    }
+
+    #[test]
+    fn fused_counting_matches_buffer_path() {
+        // The fused generator must reproduce generate_activations +
+        // nnz_from_data exactly, including across chunk seams and on a
+        // partial tail vector.
+        use zcomp_dnn::sparsity::generate_activations;
+        let elements = (1 << 20) + 12_347; // second chunk, ragged tail
+        for (sparsity, mean_run, seed) in [
+            (0.0, 1.0, 1u64),
+            (0.53, 6.0, 42),
+            (0.9, 2.0, 7),
+            (1.0, 3.0, 9),
+        ] {
+            let fused = nnz_synthetic(elements, sparsity, mean_run, seed);
+            let mut reference = Vec::new();
+            let mut produced = 0usize;
+            let mut chunk_idx = 0u64;
+            while produced < elements {
+                let n = (1usize << 20).min(elements - produced);
+                let n = if produced + n < elements {
+                    n - (n % LANES)
+                } else {
+                    n
+                };
+                let data = generate_activations(
+                    n,
+                    sparsity,
+                    mean_run,
+                    seed ^ chunk_idx.wrapping_mul(0xABCD_1234),
+                );
+                reference.extend(nnz_from_data(&data, CompareCond::Eqz));
+                produced += n;
+                chunk_idx += 1;
+            }
+            assert_eq!(fused, reference, "s={sparsity} run={mean_run} seed={seed}");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 use zcomp_isa::instr::Instr;
+use zcomp_isa::program::{BatchLane, Cursors, InstrProgram, ProgramOp, Reg};
 use zcomp_isa::stream::HeaderMode;
 use zcomp_sim::engine::{Machine, PhaseMode, PhaseReport};
 
@@ -94,6 +95,20 @@ impl Default for ReluOpts {
     }
 }
 
+/// Which execution path drives the simulated machine.
+///
+/// Both paths emit the identical observable operation sequence and
+/// produce bit-identical results; [`ExecPath::Batched`] amortizes per-op
+/// dispatch through [`Machine::exec_batch`] and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPath {
+    /// Pre-decoded instruction programs executed via
+    /// [`Machine::exec_batch`] (the fast path).
+    Batched,
+    /// One [`Machine::exec`] call per instruction (the reference path).
+    Reference,
+}
+
 /// Result of one ReLU kernel run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReluRunResult {
@@ -140,6 +155,22 @@ pub fn run_relu(
     nnz: &[u8],
     opts: &ReluOpts,
 ) -> ReluRunResult {
+    run_relu_with_path(machine, scheme, nnz, opts, ExecPath::Batched)
+}
+
+/// [`run_relu`] with an explicit execution path — the differential tests
+/// and the `bench_sim` harness drive both paths and compare.
+///
+/// # Panics
+///
+/// Panics if `opts.threads` exceeds the machine's core count or is zero.
+pub fn run_relu_with_path(
+    machine: &mut Machine,
+    scheme: ReluScheme,
+    nnz: &[u8],
+    opts: &ReluOpts,
+    path: ExecPath,
+) -> ReluRunResult {
     let _span = zcomp_trace::tracer::span("kernels", "run_relu");
     assert!(
         opts.threads > 0 && opts.threads <= machine.threads(),
@@ -154,25 +185,60 @@ pub fn run_relu(
     };
     let max_vecs = chunks.iter().map(|c| c.len() / LANES).max().unwrap_or(0);
 
+    // Batched path: decode each pass's loop body once, reuse the program
+    // across warm-up and measured iterations (only the cursors reset).
+    let store_prog = store_program(scheme, opts);
+    let load_prog = load_program(scheme, opts);
+    let make_lanes = || -> Vec<BatchLane> {
+        chunks
+            .iter()
+            .map(|c| BatchLane {
+                thread: c.thread,
+                first_vec: c.start / LANES,
+                vectors: c.len() / LANES,
+                cursors: Cursors {
+                    x: X_BASE + c.start as u64 * 4,
+                    // Partitioned: each thread's output slice starts at
+                    // the same relative offset as its input slice.
+                    y: Y_BASE + c.start as u64 * 4,
+                    h: HEADER_BASE + (c.start / LANES) as u64 * 2,
+                },
+            })
+            .collect()
+    };
+    // Store-pass bytes in closed form (u64 sums in vector order — the
+    // same integer additions the reference path performs step-by-step).
+    let store_bytes = pass_output_bytes(scheme, nnz);
+
     // One iteration = the ReLU store pass plus (optionally) the consumer
     // pass. DeepBench-style steady state: run warm-up iterations first,
     // then measure.
     let run_iteration = |machine: &mut Machine| -> (PhaseReport, Option<PhaseReport>, u64) {
         // ---- store pass: X is read, ReLU applied, Y written ----
-        let mut writers: Vec<ThreadCursor> = chunks
-            .iter()
-            .map(|c| ThreadCursor::new(c.thread, c.start, c.len() / LANES))
-            .collect();
-        let mut output_bytes = 0u64;
-        for step in 0..max_vecs {
-            for w in &mut writers {
-                if step >= w.vectors {
-                    continue;
-                }
-                let n = u32::from(nnz[w.first_vec + step]);
-                output_bytes += w.emit_store(machine, scheme, opts, n, step);
+        let output_bytes = match path {
+            ExecPath::Batched => {
+                let mut lanes = make_lanes();
+                machine.exec_batch(&store_prog, &mut lanes, nnz);
+                store_bytes
             }
-        }
+            ExecPath::Reference => {
+                let mut writers: Vec<ThreadCursor> = chunks
+                    .iter()
+                    .map(|c| ThreadCursor::new(c.thread, c.start, c.len() / LANES))
+                    .collect();
+                let mut bytes = 0u64;
+                for step in 0..max_vecs {
+                    for w in &mut writers {
+                        if step >= w.vectors {
+                            continue;
+                        }
+                        let n = u32::from(nnz[w.first_vec + step]);
+                        bytes += w.emit_store(machine, scheme, opts, n, step);
+                    }
+                }
+                bytes
+            }
+        };
         for c in &chunks {
             if !c.is_empty() {
                 machine.charge_compute(c.thread, opts.launch_overhead + setup_cost(scheme, opts));
@@ -182,17 +248,25 @@ pub fn run_relu(
 
         // ---- consumer pass: the next layer reads Y back ----
         let load_phase = if opts.consumer_pass {
-            let mut readers: Vec<ThreadCursor> = chunks
-                .iter()
-                .map(|c| ThreadCursor::new(c.thread, c.start, c.len() / LANES))
-                .collect();
-            for step in 0..max_vecs {
-                for r in &mut readers {
-                    if step >= r.vectors {
-                        continue;
+            match path {
+                ExecPath::Batched => {
+                    let mut lanes = make_lanes();
+                    machine.exec_batch(&load_prog, &mut lanes, nnz);
+                }
+                ExecPath::Reference => {
+                    let mut readers: Vec<ThreadCursor> = chunks
+                        .iter()
+                        .map(|c| ThreadCursor::new(c.thread, c.start, c.len() / LANES))
+                        .collect();
+                    for step in 0..max_vecs {
+                        for r in &mut readers {
+                            if step >= r.vectors {
+                                continue;
+                            }
+                            let n = u32::from(nnz[r.first_vec + step]);
+                            r.emit_load(machine, scheme, opts, n, step);
+                        }
                     }
-                    let n = u32::from(nnz[r.first_vec + step]);
-                    r.emit_load(machine, scheme, opts, n, step);
                 }
             }
             for c in &chunks {
@@ -250,6 +324,54 @@ fn setup_cost(scheme: ReluScheme, opts: &ReluOpts) -> f64 {
     match scheme {
         ReluScheme::Avx512Vec => 0.0,
         ReluScheme::Avx512Comp | ReluScheme::Zcomp => opts.compression_setup,
+    }
+}
+
+/// Decodes the store-pass loop body (Figs. 8/10) into a program — the
+/// exact instruction order [`ThreadCursor::emit_store`] emits.
+fn store_program(scheme: ReluScheme, opts: &ReluOpts) -> InstrProgram {
+    let mut ops = vec![ProgramOp::VLoad(Reg::X)];
+    match scheme {
+        ReluScheme::Avx512Vec => ops.extend([ProgramOp::VMaxPs, ProgramOp::VStore(Reg::Y)]),
+        ReluScheme::Avx512Comp => ops.extend([
+            ProgramOp::VCmpPsMask,
+            ProgramOp::KmovPopcnt,
+            ProgramOp::VCompressStore,
+            ProgramOp::ScalarAdd,
+            ProgramOp::StoreMask,
+        ]),
+        ReluScheme::Zcomp => ops.push(ProgramOp::ZcompS(opts.header_mode)),
+    }
+    InstrProgram::new(ops, opts.unroll)
+}
+
+/// Decodes the consumer-pass loop body (Figs. 9/11) — the exact order of
+/// [`ThreadCursor::emit_load`].
+fn load_program(scheme: ReluScheme, opts: &ReluOpts) -> InstrProgram {
+    let mut ops = match scheme {
+        ReluScheme::Avx512Vec => vec![ProgramOp::VLoad(Reg::Y)],
+        ReluScheme::Avx512Comp => vec![
+            ProgramOp::LoadMask,
+            ProgramOp::KmovPopcnt,
+            ProgramOp::VExpandLoad,
+            ProgramOp::ScalarAdd,
+        ],
+        ReluScheme::Zcomp => vec![ProgramOp::ZcompL(opts.header_mode)],
+    };
+    // Figs. 9/11: the consumer performs one vector op on the expanded
+    // data in every scheme.
+    ops.push(ProgramOp::VMaxPs);
+    InstrProgram::new(ops, opts.unroll)
+}
+
+/// Store-pass output bytes in closed form — per vector, the same value
+/// [`ThreadCursor::emit_store`] returns.
+fn pass_output_bytes(scheme: ReluScheme, nnz: &[u8]) -> u64 {
+    match scheme {
+        ReluScheme::Avx512Vec => nnz.len() as u64 * 64,
+        ReluScheme::Avx512Comp | ReluScheme::Zcomp => {
+            nnz.iter().map(|&n| u64::from(n) * 4 + 2).sum()
+        }
     }
 }
 

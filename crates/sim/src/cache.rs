@@ -2,12 +2,42 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::LineFlags;
 use crate::config::{CacheConfig, Replacement, LINE_BYTES};
 use crate::faults::{FaultEvent, FaultProbe};
 use crate::stats::CacheStats;
 
 /// Sentinel for an invalid way.
-const INVALID_TAG: u64 = u64::MAX;
+///
+/// Tags are stored compact (`u32`) to halve the hot metadata footprint:
+/// the Table-1 L3 alone holds 384K lines, and the sweep streams through
+/// its tag array on every fill, so tag bytes translate directly into
+/// host-cache misses. All simulated address spaces sit far below the
+/// 2^38-byte bound this implies (checked on every access).
+const INVALID_TAG: u32 = u32::MAX;
+
+/// Branchless scan of one set's tags: returns `(hit_mask, invalid_mask)`
+/// with bit `w` set when way `w` matches `line` / is invalid. With `WAYS`
+/// a non-zero compile-time constant the loop fully unrolls and
+/// vectorizes; `WAYS = 0` falls back to the slice length.
+#[inline(always)]
+fn scan_set<const WAYS: usize>(set_tags: &[u32], line: u32) -> (u32, u32) {
+    let mut hit_mask = 0u32;
+    let mut invalid_mask = 0u32;
+    if WAYS != 0 {
+        let tags: &[u32; WAYS] = set_tags.try_into().expect("set slice length");
+        for (w, &t) in tags.iter().enumerate() {
+            hit_mask |= u32::from(t == line) << w;
+            invalid_mask |= u32::from(t == INVALID_TAG) << w;
+        }
+    } else {
+        for (w, &t) in set_tags.iter().enumerate() {
+            hit_mask |= u32::from(t == line) << w;
+            invalid_mask |= u32::from(t == INVALID_TAG) << w;
+        }
+    }
+    (hit_mask, invalid_mask)
+}
 /// SRRIP re-reference prediction values (2-bit).
 const RRPV_MAX: u8 = 3;
 const RRPV_HIT: u8 = 0;
@@ -57,11 +87,21 @@ pub struct CacheArray {
     cfg: CacheConfig,
     set_shift: u32,
     set_mask: u64,
-    tags: Vec<u64>,
-    /// LRU timestamp or SRRIP RRPV depending on policy.
+    /// Storage stride between consecutive sets, in ways: the next power of
+    /// two above the associativity. Padding ways hold `INVALID_TAG` and are
+    /// never scanned; they only align each set's tag slice so a 12-way set
+    /// (48 bytes at a 48-byte stride would straddle host cache lines three
+    /// sets out of four) occupies a single aligned line.
+    way_stride: usize,
+    tags: Vec<u32>,
+    /// LRU timestamps (allocated only under the LRU policy).
     meta: Vec<u32>,
-    dirty: Vec<bool>,
-    prefetched: Vec<bool>,
+    /// SRRIP re-reference values (allocated only under SRRIP; one byte per
+    /// line keeps the L2/L3 replacement state dense).
+    rrpv: Vec<u8>,
+    /// Per-line dirty/prefetched bits, packed as adjacent pairs so the
+    /// fill and invalidate paths update both in one word access.
+    flags: LineFlags,
     lru_clock: u32,
     stats: CacheStats,
     /// Optional fault source rolled on every demand access.
@@ -78,16 +118,22 @@ impl CacheArray {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        let lines = sets * cfg.ways;
+        let way_stride = cfg.ways.next_power_of_two();
+        let slots = sets * way_stride;
+        let (meta, rrpv) = match cfg.replacement {
+            Replacement::Lru => (vec![0u32; slots], Vec::new()),
+            Replacement::Srrip => (Vec::new(), vec![0u8; slots]),
+        };
         CacheArray {
             cfg,
 
             set_shift: LINE_BYTES.trailing_zeros(),
             set_mask: (sets as u64) - 1,
-            tags: vec![INVALID_TAG; lines],
-            meta: vec![0; lines],
-            dirty: vec![false; lines],
-            prefetched: vec![false; lines],
+            way_stride,
+            tags: vec![INVALID_TAG; slots],
+            meta,
+            rrpv,
+            flags: LineFlags::new(slots),
             lru_clock: 0,
             stats: CacheStats::default(),
             fault_probe: None,
@@ -129,16 +175,23 @@ impl CacheArray {
     }
 
     #[inline]
-    fn index(&self, addr: u64) -> (usize, u64) {
+    fn index(&self, addr: u64) -> (usize, u32) {
         let line = addr >> self.set_shift;
+        // Compact-tag bound (see INVALID_TAG). A truncated tag would alias
+        // silently, so this is a hard check, not a debug assertion; the
+        // branch is perfectly predicted.
+        assert!(
+            line < u64::from(u32::MAX),
+            "address beyond compact-tag range"
+        );
         let set = (line & self.set_mask) as usize;
-        (set, line)
+        (set, line as u32)
     }
 
     /// Looks up a line without updating any state.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, line) = self.index(addr);
-        let base = set * self.cfg.ways;
+        let base = set * self.way_stride;
         self.tags[base..base + self.cfg.ways].contains(&line)
     }
 
@@ -149,65 +202,94 @@ impl CacheArray {
     ///   the line as prefetched (SRRIP inserts prefetches at distant
     ///   re-reference to limit pollution).
     pub fn access(&mut self, addr: u64, is_write: bool, is_prefetch: bool) -> AccessOutcome {
+        // Dispatch once on the probe, the associativity and the
+        // replacement policy so the common no-fault sweep configuration
+        // gets a monomorphized loop with the injection branch compiled
+        // out, the way scans unrolled for the Table-1 geometries (8/12/16
+        // ways) and the replacement updates branch-free. `WAYS = 0` is the
+        // runtime-associativity fallback for other configurations.
+        let lru = self.cfg.replacement == Replacement::Lru;
+        match (self.fault_probe.is_some(), self.cfg.ways, lru) {
+            (false, 8, true) => self.access_impl::<false, 8, true>(addr, is_write, is_prefetch),
+            (false, 8, false) => self.access_impl::<false, 8, false>(addr, is_write, is_prefetch),
+            (false, 12, true) => self.access_impl::<false, 12, true>(addr, is_write, is_prefetch),
+            (false, 12, false) => self.access_impl::<false, 12, false>(addr, is_write, is_prefetch),
+            (false, 16, true) => self.access_impl::<false, 16, true>(addr, is_write, is_prefetch),
+            (false, 16, false) => self.access_impl::<false, 16, false>(addr, is_write, is_prefetch),
+            (false, _, true) => self.access_impl::<false, 0, true>(addr, is_write, is_prefetch),
+            (false, _, false) => self.access_impl::<false, 0, false>(addr, is_write, is_prefetch),
+            (true, 8, true) => self.access_impl::<true, 8, true>(addr, is_write, is_prefetch),
+            (true, 8, false) => self.access_impl::<true, 8, false>(addr, is_write, is_prefetch),
+            (true, 12, true) => self.access_impl::<true, 12, true>(addr, is_write, is_prefetch),
+            (true, 12, false) => self.access_impl::<true, 12, false>(addr, is_write, is_prefetch),
+            (true, 16, true) => self.access_impl::<true, 16, true>(addr, is_write, is_prefetch),
+            (true, 16, false) => self.access_impl::<true, 16, false>(addr, is_write, is_prefetch),
+            (true, _, true) => self.access_impl::<true, 0, true>(addr, is_write, is_prefetch),
+            (true, _, false) => self.access_impl::<true, 0, false>(addr, is_write, is_prefetch),
+        }
+    }
+
+    #[inline(always)]
+    fn access_impl<const FAULTS: bool, const WAYS: usize, const LRU: bool>(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        is_prefetch: bool,
+    ) -> AccessOutcome {
         // Fault injection observes demand accesses only: a flip matters
         // when the core consumes the line, and prefetched lines are rolled
         // at their first demand rather than at fill time.
-        if !is_prefetch {
+        if FAULTS && !is_prefetch {
             if let Some(p) = &mut self.fault_probe {
                 p.observe(addr);
             }
         }
         let (set, line) = self.index(addr);
-        let base = set * self.cfg.ways;
-        let ways = self.cfg.ways;
+        let ways = if WAYS == 0 { self.cfg.ways } else { WAYS };
+        // Compile-time stride for the monomorphized geometries (a shift,
+        // and line-aligned for the 12-way L3).
+        let stride = if WAYS == 0 {
+            self.way_stride
+        } else {
+            WAYS.next_power_of_two()
+        };
+        let base = set * stride;
 
-        // Hit path. The prefetched bit is consumed by the first hit of any
-        // kind: an L1-prefetch lookup that finds an L2-prefetched line
-        // still proves the L2 prefetch useful.
-        for w in 0..ways {
-            let idx = base + w;
-            if self.tags[idx] == line {
-                let first_demand = self.prefetched[idx];
-                self.prefetched[idx] = false;
-                if !is_prefetch {
-                    self.stats.hits += 1;
-                    if first_demand {
-                        self.stats.prefetch_hits += 1;
-                    }
+        // Single branchless scan of the set's tag slice produces a hit
+        // mask and an invalid-way mask: with the associativity a compile-
+        // time constant the loop unrolls and vectorizes, and a miss does
+        // not re-walk the tags inside the victim search. The prefetched
+        // bit is consumed by the first hit of any kind: an L1-prefetch
+        // lookup that finds an L2-prefetched line still proves the L2
+        // prefetch useful.
+        let (hit_mask, invalid_mask) = scan_set::<WAYS>(&self.tags[base..base + ways], line);
+        if hit_mask != 0 {
+            let idx = base + hit_mask.trailing_zeros() as usize;
+            let first_demand = self.flags.take_prefetched(idx);
+            if !is_prefetch {
+                self.stats.hits += 1;
+                if first_demand {
+                    self.stats.prefetch_hits += 1;
                 }
-                if is_write {
-                    self.dirty[idx] = true;
-                }
-                self.touch(idx);
-                return AccessOutcome {
-                    hit: true,
-                    first_demand_of_prefetch: first_demand,
-                    evicted: None,
-                };
             }
+            if is_write {
+                self.flags.set_dirty(idx);
+            }
+            self.touch::<LRU>(idx);
+            return AccessOutcome {
+                hit: true,
+                first_demand_of_prefetch: first_demand,
+                evicted: None,
+            };
         }
 
-        // Miss path: pick a victim.
+        // Miss path: pick a victim, preferring the lowest invalid way
+        // from the tag scan.
         if !is_prefetch {
             self.stats.misses += 1;
         }
-        let victim = self.pick_victim(base, ways);
-        let evicted = if self.tags[victim] != INVALID_TAG {
-            let dirty = self.dirty[victim];
-            if dirty {
-                self.stats.writebacks += 1;
-            }
-            Some(EvictedLine {
-                addr: self.tags[victim] << self.set_shift,
-                dirty,
-            })
-        } else {
-            None
-        };
-        self.tags[victim] = line;
-        self.dirty[victim] = is_write;
-        self.prefetched[victim] = is_prefetch;
-        self.fill_meta(victim, is_prefetch);
+        let evicted =
+            self.insert_miss::<LRU>(base, ways, line, is_write, is_prefetch, invalid_mask);
         AccessOutcome {
             hit: false,
             first_demand_of_prefetch: false,
@@ -215,17 +297,101 @@ impl CacheArray {
         }
     }
 
+    /// Fills the victim way of a missed set with `line`. Shared by the
+    /// demand/prefetch access path and [`fill_if_absent`]; the caller has
+    /// already accounted the miss and proven `line` absent from the set.
+    ///
+    /// [`fill_if_absent`]: CacheArray::fill_if_absent
+    #[inline(always)]
+    fn insert_miss<const LRU: bool>(
+        &mut self,
+        base: usize,
+        ways: usize,
+        line: u32,
+        is_write: bool,
+        is_prefetch: bool,
+        invalid_mask: u32,
+    ) -> Option<EvictedLine> {
+        let victim = if invalid_mask != 0 {
+            base + invalid_mask.trailing_zeros() as usize
+        } else {
+            self.pick_victim::<LRU>(base, ways)
+        };
+        let evicted = if self.tags[victim] != INVALID_TAG {
+            let dirty = self.flags.dirty(victim);
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                addr: u64::from(self.tags[victim]) << self.set_shift,
+                dirty,
+            })
+        } else {
+            None
+        };
+        self.tags[victim] = line;
+        self.flags.assign(victim, is_write, is_prefetch);
+        self.fill_meta::<LRU>(victim, is_prefetch);
+        evicted
+    }
+
+    /// Prefetch-fills `addr` only if it is not already resident, with a
+    /// single tag scan.
+    ///
+    /// Equivalent to `probe(addr)` followed by `access(addr, false, true)`
+    /// on a miss: a hit leaves the array completely untouched (no
+    /// replacement-state update, matching the probe-then-return prefetch
+    /// idiom) and returns `None`; a miss takes the prefetch insert path
+    /// and returns its outcome.
+    pub fn fill_if_absent(&mut self, addr: u64) -> Option<AccessOutcome> {
+        let lru = self.cfg.replacement == Replacement::Lru;
+        match (self.cfg.ways, lru) {
+            (8, true) => self.fill_if_absent_impl::<8, true>(addr),
+            (8, false) => self.fill_if_absent_impl::<8, false>(addr),
+            (12, true) => self.fill_if_absent_impl::<12, true>(addr),
+            (12, false) => self.fill_if_absent_impl::<12, false>(addr),
+            (16, true) => self.fill_if_absent_impl::<16, true>(addr),
+            (16, false) => self.fill_if_absent_impl::<16, false>(addr),
+            (_, true) => self.fill_if_absent_impl::<0, true>(addr),
+            (_, false) => self.fill_if_absent_impl::<0, false>(addr),
+        }
+    }
+
+    #[inline(always)]
+    fn fill_if_absent_impl<const WAYS: usize, const LRU: bool>(
+        &mut self,
+        addr: u64,
+    ) -> Option<AccessOutcome> {
+        let (set, line) = self.index(addr);
+        let ways = if WAYS == 0 { self.cfg.ways } else { WAYS };
+        let stride = if WAYS == 0 {
+            self.way_stride
+        } else {
+            WAYS.next_power_of_two()
+        };
+        let base = set * stride;
+        let (hit_mask, invalid_mask) = scan_set::<WAYS>(&self.tags[base..base + ways], line);
+        if hit_mask != 0 {
+            return None;
+        }
+        let evicted = self.insert_miss::<LRU>(base, ways, line, false, true, invalid_mask);
+        Some(AccessOutcome {
+            hit: false,
+            first_demand_of_prefetch: false,
+            evicted,
+        })
+    }
+
     /// Invalidates a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let (set, line) = self.index(addr);
-        let base = set * self.cfg.ways;
+        let base = set * self.way_stride;
         for w in 0..self.cfg.ways {
             let idx = base + w;
             if self.tags[idx] == line {
-                let dirty = self.dirty[idx];
+                let dirty = self.flags.dirty(idx);
                 self.tags[idx] = INVALID_TAG;
-                self.dirty[idx] = false;
-                self.prefetched[idx] = false;
+                self.flags.clear(idx);
                 return Some(dirty);
             }
         }
@@ -237,66 +403,60 @@ impl CacheArray {
         self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
-    fn touch(&mut self, idx: usize) {
-        match self.cfg.replacement {
-            Replacement::Lru => {
-                self.lru_clock = self.lru_clock.wrapping_add(1);
-                self.meta[idx] = self.lru_clock;
-            }
-            Replacement::Srrip => {
-                self.meta[idx] = u32::from(RRPV_HIT);
-            }
+    /// Hit-path replacement update. `LRU` mirrors `cfg.replacement`
+    /// (guaranteed by the monomorphization dispatch).
+    #[inline(always)]
+    fn touch<const LRU: bool>(&mut self, idx: usize) {
+        if LRU {
+            self.lru_clock = self.lru_clock.wrapping_add(1);
+            self.meta[idx] = self.lru_clock;
+        } else {
+            self.rrpv[idx] = RRPV_HIT;
         }
     }
 
-    fn fill_meta(&mut self, idx: usize, is_prefetch: bool) {
-        match self.cfg.replacement {
-            Replacement::Lru => {
-                self.lru_clock = self.lru_clock.wrapping_add(1);
-                self.meta[idx] = self.lru_clock;
-            }
-            Replacement::Srrip => {
-                self.meta[idx] = u32::from(if is_prefetch {
-                    RRPV_INSERT_PREFETCH
-                } else {
-                    RRPV_INSERT_DEMAND
-                });
-            }
+    /// Fill-path replacement update (see [`touch`](Self::touch)).
+    #[inline(always)]
+    fn fill_meta<const LRU: bool>(&mut self, idx: usize, is_prefetch: bool) {
+        if LRU {
+            self.lru_clock = self.lru_clock.wrapping_add(1);
+            self.meta[idx] = self.lru_clock;
+        } else {
+            self.rrpv[idx] = if is_prefetch {
+                RRPV_INSERT_PREFETCH
+            } else {
+                RRPV_INSERT_DEMAND
+            };
         }
     }
 
-    fn pick_victim(&mut self, base: usize, ways: usize) -> usize {
-        // Prefer invalid ways.
-        for w in 0..ways {
-            if self.tags[base + w] == INVALID_TAG {
-                return base + w;
-            }
-        }
-        match self.cfg.replacement {
-            Replacement::Lru => {
-                // Oldest timestamp. Wrapping clocks are fine for the
-                // workloads simulated (<< 2^32 accesses per set window).
-                let mut victim = base;
-                let mut oldest = self.meta[base];
-                for w in 1..ways {
-                    if self.meta[base + w] < oldest {
-                        oldest = self.meta[base + w];
-                        victim = base + w;
-                    }
+    /// Replacement-policy victim search. The caller has already checked
+    /// for invalid ways (the access tag scan records the lowest one), so
+    /// every way in the set is valid here.
+    fn pick_victim<const LRU: bool>(&mut self, base: usize, ways: usize) -> usize {
+        if LRU {
+            // Oldest timestamp, lowest way on ties. Wrapping clocks are
+            // fine for the workloads simulated (<< 2^32 accesses per
+            // set window).
+            let meta = &self.meta[base..base + ways];
+            let mut victim = 0;
+            let mut oldest = meta[0];
+            for (w, &m) in meta.iter().enumerate().skip(1) {
+                if m < oldest {
+                    oldest = m;
+                    victim = w;
                 }
-                victim
             }
-            Replacement::Srrip => {
-                loop {
-                    for w in 0..ways {
-                        if self.meta[base + w] >= u32::from(RRPV_MAX) {
-                            return base + w;
-                        }
-                    }
-                    // Age everyone and retry.
-                    for w in 0..ways {
-                        self.meta[base + w] += 1;
-                    }
+            base + victim
+        } else {
+            let rrpv = &mut self.rrpv[base..base + ways];
+            loop {
+                if let Some(w) = rrpv.iter().position(|&m| m >= RRPV_MAX) {
+                    return base + w;
+                }
+                // Age everyone and retry.
+                for m in rrpv.iter_mut() {
+                    *m += 1;
                 }
             }
         }

@@ -39,6 +39,10 @@ impl RowBufferStats {
 pub struct DramModel {
     cfg: DramConfig,
     clock_hz: f64,
+    /// `channels - 1` when the channel count is a power of two: the
+    /// per-transfer interleave then reduces to a mask instead of a
+    /// runtime-divisor modulo (Table 1 uses 4 channels).
+    channel_mask: Option<u64>,
     channel_bytes: Vec<u64>,
     /// Open row per (channel, bank), when `detailed_banks` is on.
     open_rows: Vec<Option<u64>>,
@@ -56,6 +60,10 @@ impl DramModel {
         DramModel {
             cfg,
             clock_hz,
+            channel_mask: cfg
+                .channels
+                .is_power_of_two()
+                .then_some(cfg.channels as u64 - 1),
             channel_bytes: vec![0; cfg.channels],
             open_rows: vec![None; cfg.channels * cfg.banks_per_channel.max(1)],
             row_stats: RowBufferStats::default(),
@@ -88,8 +96,13 @@ impl DramModel {
     }
 
     /// Channel a line address maps to (line-interleaved).
+    #[inline]
     pub fn channel_of(&self, addr: u64) -> usize {
-        ((addr / LINE_BYTES as u64) % self.cfg.channels as u64) as usize
+        let line = addr / LINE_BYTES as u64;
+        match self.channel_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.cfg.channels as u64) as usize,
+        }
     }
 
     /// Records a line transfer (fill or writeback) of `bytes` bytes and

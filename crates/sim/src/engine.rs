@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use zcomp_isa::instr::{AccessKind, Instr, MemAccess};
+use zcomp_isa::program::{BatchLane, InstrProgram};
 use zcomp_isa::uops::UopTable;
 
 use crate::config::SimConfig;
@@ -238,6 +239,104 @@ impl Machine {
             self.threads[thread].access.merge(&result);
         }
         self.access_buf = buf;
+    }
+
+    /// Executes a pre-decoded instruction program across a batch of lanes
+    /// — the batched fast path of the kernel inner loops.
+    ///
+    /// The program's loop body runs once per (step, lane) in step-major,
+    /// lane-minor order — exactly the issue order of the reference
+    /// kernels, so shared, order-dependent hierarchy state (L3, DRAM,
+    /// prefetchers) evolves identically. Per-op dispatch, uop-table
+    /// decode and observer checks are amortized: memory accesses are
+    /// issued directly from the decoded ops, and uop/instruction
+    /// accounting is applied in closed form per lane (integer totals, so
+    /// the sums are bit-identical to per-op accumulation).
+    ///
+    /// With an observer attached the batch falls back to materializing
+    /// each [`Instr`] and funnelling it through [`exec`](Self::exec), so
+    /// observers (trace capture) see the identical operation stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane's thread is out of range or its NNZ slice exceeds
+    /// `nnz`.
+    pub fn exec_batch(&mut self, program: &InstrProgram, lanes: &mut [BatchLane], nnz: &[u8]) {
+        if self.observer.is_some() {
+            self.exec_batch_observed(program, lanes, nnz);
+            return;
+        }
+        self.trace_phase_open();
+        let max_vecs = lanes.iter().map(|l| l.vectors).max().unwrap_or(0);
+        for step in 0..max_vecs {
+            for lane in lanes.iter_mut() {
+                if step >= lane.vectors {
+                    continue;
+                }
+                let n = u32::from(nnz[lane.first_vec + step]);
+                let t = lane.thread;
+                for op in program.ops() {
+                    let (a, b) = op.accesses(&mut lane.cursors, n);
+                    if let Some(acc) = a {
+                        let result = match acc.kind {
+                            AccessKind::Read => self.mem.read(t, acc.addr, acc.bytes),
+                            AccessKind::Write => self.mem.write(t, acc.addr, acc.bytes),
+                        };
+                        self.threads[t].access.merge(&result);
+                    }
+                    if let Some(acc) = b {
+                        let result = match acc.kind {
+                            AccessKind::Read => self.mem.read(t, acc.addr, acc.bytes),
+                            AccessKind::Write => self.mem.write(t, acc.addr, acc.bytes),
+                        };
+                        self.threads[t].access.merge(&result);
+                    }
+                }
+            }
+        }
+        // Closed-form accounting: per-iteration uop counts are constants
+        // of the program (independent of NNZ and addresses), so the batch
+        // totals are exact integer multiples — bit-identical to the
+        // reference path's per-op accumulation.
+        for lane in lanes.iter() {
+            if lane.vectors == 0 {
+                continue;
+            }
+            let steps = lane.vectors as u64;
+            let fires = program.overhead_fires(lane.vectors);
+            let acct = &mut self.threads[lane.thread];
+            acct.uops.merge(&program.body_uops().scaled(steps));
+            acct.uops.merge(&program.overhead_uops().scaled(fires));
+            let instrs = program.body_instructions() * steps + fires;
+            acct.instructions += instrs;
+            self.instructions += instrs;
+        }
+    }
+
+    /// Observed fallback of [`exec_batch`](Self::exec_batch): one
+    /// [`exec`](Self::exec) per materialized instruction, in the identical
+    /// order, so attached observers record the same stream as the
+    /// reference kernels.
+    fn exec_batch_observed(&mut self, program: &InstrProgram, lanes: &mut [BatchLane], nnz: &[u8]) {
+        let unroll = program.unroll();
+        let max_vecs = lanes.iter().map(|l| l.vectors).max().unwrap_or(0);
+        for step in 0..max_vecs {
+            for lane in lanes.iter_mut() {
+                if step >= lane.vectors {
+                    continue;
+                }
+                let n = u32::from(nnz[lane.first_vec + step]);
+                let t = lane.thread;
+                for op in program.ops() {
+                    let instr = op.instr(&lane.cursors, n);
+                    op.advance(&mut lane.cursors, n);
+                    self.exec(t, &instr);
+                }
+                if step.is_multiple_of(unroll) {
+                    self.exec(t, &Instr::LoopOverhead);
+                }
+            }
+        }
     }
 
     /// Injects `cycles` of analytically-modelled compute time (dense

@@ -19,7 +19,7 @@ use crate::config::{SimConfig, LINE_BYTES};
 use crate::dram::DramModel;
 use crate::faults::{FaultConfig, FaultEvent, FaultProbe, FaultSite};
 use crate::noc::Mesh;
-use crate::prefetch::StreamPrefetcher;
+use crate::prefetch::{PrefetchTargets, StreamPrefetcher};
 use crate::stats::{CacheStats, FaultStats, PrefetchStats, TrafficStats};
 
 /// Which level served a demand line.
@@ -93,11 +93,17 @@ pub struct MemorySystem {
     dram: DramModel,
     mesh: Mesh,
     traffic: TrafficStats,
-    pf_scratch: Vec<u64>,
     /// Detections reported back by the consumer, per fault site.
     fault_detected: [u64; FaultSite::COUNT],
     /// Demand line accesses seen, for sampled trace counters.
     trace_tick: u64,
+    /// Reused L1-prefetch target buffer: cleared before each observe so
+    /// the demand path never re-zeroes a fresh fixed-capacity buffer.
+    l1_targets: PrefetchTargets,
+    /// Reused L2-prefetch target buffer. Shared by `access_l2` and
+    /// `prefetch_into_l1`, whose uses never overlap: each fully drains the
+    /// buffer before the other runs.
+    l2_targets: PrefetchTargets,
 }
 
 impl MemorySystem {
@@ -120,9 +126,10 @@ impl MemorySystem {
             l1_pf,
             l2_pf,
             traffic: TrafficStats::new(),
-            pf_scratch: Vec::with_capacity(16),
             fault_detected: [0; FaultSite::COUNT],
             trace_tick: 0,
+            l1_targets: PrefetchTargets::new(),
+            l2_targets: PrefetchTargets::new(),
             cfg,
         }
     }
@@ -326,10 +333,14 @@ impl MemorySystem {
     /// One demand line access from `core`; returns the serving level and
     /// its latency.
     fn access_one(&mut self, core: usize, line_addr: u64, is_write: bool) -> (ServedBy, u32) {
-        // L1 prefetcher observes every demand access.
-        self.pf_scratch.clear();
-        self.l1_pf[core].observe(line_addr, &mut self.pf_scratch);
-        let l1_targets = std::mem::take(&mut self.pf_scratch);
+        // L1 prefetcher observes every demand access. Targets go into the
+        // reused fixed-capacity buffer: the demand path allocates nothing
+        // and never re-zeroes the backing array.
+        self.l1_targets.clear();
+        let Self {
+            l1_pf, l1_targets, ..
+        } = self;
+        l1_pf[core].observe(line_addr, l1_targets);
 
         let l1 = self.l1[core].access(line_addr, is_write, false);
         if l1.first_demand_of_prefetch {
@@ -351,11 +362,12 @@ impl MemorySystem {
             (below, self.cfg.l1d.hit_latency + below_latency)
         };
 
-        // Issue L1 prefetches after the demand completes.
-        for target in &l1_targets {
-            self.prefetch_into_l1(core, *target);
+        // Issue L1 prefetches after the demand completes. Indexed drain:
+        // the callee uses the L2 target buffer, never this one.
+        for i in 0..self.l1_targets.len() {
+            let target = self.l1_targets.as_slice()[i];
+            self.prefetch_into_l1(core, target);
         }
-        self.pf_scratch = l1_targets;
         (served, latency)
     }
 
@@ -363,9 +375,11 @@ impl MemorySystem {
     fn access_l2(&mut self, core: usize, line_addr: u64, is_writeback: bool) -> (ServedBy, u32) {
         // The L2 stream prefetcher trains on the L2 access stream —
         // including accesses generated by ZCOMP micro-ops (§3.3).
-        self.pf_scratch.clear();
-        self.l2_pf[core].observe(line_addr, &mut self.pf_scratch);
-        let l2_targets = std::mem::take(&mut self.pf_scratch);
+        self.l2_targets.clear();
+        let Self {
+            l2_pf, l2_targets, ..
+        } = self;
+        l2_pf[core].observe(line_addr, l2_targets);
 
         let l2 = self.l2[core].access(line_addr, is_writeback, false);
         if l2.first_demand_of_prefetch {
@@ -386,10 +400,10 @@ impl MemorySystem {
             (below, self.cfg.l2.hit_latency + below_latency)
         };
 
-        for target in &l2_targets {
-            self.prefetch_into_l2(core, *target);
+        for i in 0..self.l2_targets.len() {
+            let target = self.l2_targets.as_slice()[i];
+            self.prefetch_into_l2(core, target);
         }
-        self.pf_scratch = l2_targets;
         out
     }
 
@@ -445,10 +459,9 @@ impl MemorySystem {
     /// statistics. An L1-prefetch lookup that finds an L2-prefetched line
     /// proves that L2 prefetch useful.
     fn prefetch_into_l1(&mut self, core: usize, line_addr: u64) {
-        if self.l1[core].probe(line_addr) {
+        let Some(l1) = self.l1[core].fill_if_absent(line_addr) else {
             return;
-        }
-        let l1 = self.l1[core].access(line_addr, false, true);
+        };
         if let Some(ev) = l1.evicted {
             if ev.dirty {
                 self.fill_l2_writeback(core, ev.addr);
@@ -458,9 +471,11 @@ impl MemorySystem {
         // The L2 prefetcher trains on every L2 request — L1 prefetches
         // included — so an active L1 prefetcher does not starve it of the
         // stream.
-        self.pf_scratch.clear();
-        self.l2_pf[core].observe(line_addr, &mut self.pf_scratch);
-        let l2_targets = std::mem::take(&mut self.pf_scratch);
+        self.l2_targets.clear();
+        let Self {
+            l2_pf, l2_targets, ..
+        } = self;
+        l2_pf[core].observe(line_addr, l2_targets);
 
         let l2 = self.l2[core].access(line_addr, false, true);
         if l2.first_demand_of_prefetch {
@@ -478,19 +493,18 @@ impl MemorySystem {
             }
             self.fetch_prefetch_fill(line_addr);
         }
-        for target in &l2_targets {
-            self.prefetch_into_l2(core, *target);
+        for i in 0..self.l2_targets.len() {
+            let target = self.l2_targets.as_slice()[i];
+            self.prefetch_into_l2(core, target);
         }
-        self.pf_scratch = l2_targets;
     }
 
     /// L2 prefetch: fills L2 from L3/DRAM without counting demand
     /// statistics.
     fn prefetch_into_l2(&mut self, core: usize, line_addr: u64) {
-        if self.l2[core].probe(line_addr) {
+        let Some(l2) = self.l2[core].fill_if_absent(line_addr) else {
             return;
-        }
-        let l2 = self.l2[core].access(line_addr, false, true);
+        };
         if let Some(ev) = l2.evicted {
             if ev.dirty {
                 self.fill_l3_writeback(ev.addr);
@@ -502,8 +516,10 @@ impl MemorySystem {
     /// Pulls a prefetched line through L3 (from DRAM if absent).
     fn fetch_prefetch_fill(&mut self, line_addr: u64) {
         self.traffic.l3_fill_bytes += LINE_BYTES as u64;
-        if !self.l3.probe(line_addr) {
-            let l3 = self.l3.access(line_addr, false, true);
+        // A single access serves both cases: a hit only touches L3
+        // recency, a miss fills the line from DRAM.
+        let l3 = self.l3.access(line_addr, false, true);
+        if !l3.hit {
             if let Some(ev) = l3.evicted {
                 if ev.dirty {
                     self.dram.record_transfer(ev.addr, LINE_BYTES as u64);
@@ -512,9 +528,6 @@ impl MemorySystem {
             }
             self.dram.record_transfer(line_addr, LINE_BYTES as u64);
             self.traffic.dram_bytes += LINE_BYTES as u64;
-        } else {
-            // Touch to update recency in L3.
-            self.l3.access(line_addr, false, true);
         }
     }
 }

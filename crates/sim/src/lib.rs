@@ -10,6 +10,7 @@
 //! The simulator is organised bottom-up:
 //!
 //! * [`config`] — machine description ([`config::SimConfig::table1`]).
+//! * [`bitset`] — packed `u64` bitset backing the per-line flag state.
 //! * [`cache`] — set-associative arrays with LRU/SRRIP replacement.
 //! * [`prefetch`] — the stream/stride prefetcher model.
 //! * [`noc`] — the 2D-mesh latency model.
@@ -39,6 +40,7 @@
 //! assert_eq!(summary.traffic.core_read_bytes, 1024 * 64);
 //! ```
 
+pub mod bitset;
 pub mod cache;
 pub mod config;
 pub mod core;
@@ -51,6 +53,7 @@ pub mod observe;
 pub mod prefetch;
 pub mod stats;
 
+pub use bitset::BitSet;
 pub use config::SimConfig;
 pub use engine::{Machine, PhaseMode, PhaseReport, RunSummary};
 pub use faults::{FaultConfig, FaultEvent, FaultProbe, FaultSite};

@@ -24,6 +24,73 @@ const REGION_BYTES: u64 = 4096;
 /// Per-event counter samples would swamp a trace; sample every Nth.
 const TRACE_SAMPLE_EVERY: u64 = 8192;
 
+/// Capacity of [`PrefetchTargets`]: one observation issues at most
+/// `degree` prefetches, and [`StreamPrefetcher::new`] rejects
+/// configurations whose degree exceeds this bound.
+pub const MAX_PREFETCH_DEGREE: usize = 16;
+
+/// A fixed-capacity buffer of prefetch target addresses.
+///
+/// One [`StreamPrefetcher::observe`] call issues at most `degree` targets,
+/// so a stack-allocated array sized by [`MAX_PREFETCH_DEGREE`] holds any
+/// batch — the memory hierarchy's demand path collects targets without
+/// touching the heap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchTargets {
+    buf: [u64; MAX_PREFETCH_DEGREE],
+    len: u8,
+}
+
+impl PrefetchTargets {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the buffer.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends a target address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (cannot happen for targets produced by
+    /// a [`StreamPrefetcher`], whose degree is bounded at construction).
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        self.buf[self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// The collected targets, in issue order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of collected targets.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no targets were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchTargets {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct StreamEntry {
     region: u64,
@@ -45,27 +112,43 @@ struct StreamEntry {
 /// use zcomp_sim::config::PrefetchConfig;
 ///
 /// let mut pf = StreamPrefetcher::new(PrefetchConfig::default());
-/// let mut out = Vec::new();
+/// let mut out = zcomp_sim::prefetch::PrefetchTargets::new();
 /// pf.observe(0, &mut out);      // allocate stream
 /// pf.observe(64, &mut out);     // stride confirmed (threshold 2)
 /// pf.observe(128, &mut out);    // now running ahead
 /// assert!(!out.is_empty(), "confirmed stream must issue prefetches");
-/// assert!(out.iter().all(|a| a % 64 == 0));
+/// assert!(out.as_slice().iter().all(|a| a % 64 == 0));
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     cfg: PrefetchConfig,
     entries: Vec<StreamEntry>,
+    /// Contiguous mirror of `entries[i].region`: the per-access stream
+    /// match scans this dense array (8 bytes per entry) instead of the
+    /// full entry structs. Kept in lockstep with `entries` on every
+    /// allocation, eviction and region advance.
+    regions: Vec<u64>,
     clock: u64,
     stats: PrefetchStats,
 }
 
 impl StreamPrefetcher {
     /// Creates a prefetcher with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.degree` exceeds [`MAX_PREFETCH_DEGREE`], the
+    /// capacity of the fixed [`PrefetchTargets`] buffer `observe` fills.
     pub fn new(cfg: PrefetchConfig) -> Self {
+        assert!(
+            cfg.degree <= MAX_PREFETCH_DEGREE,
+            "prefetch degree {} exceeds MAX_PREFETCH_DEGREE ({MAX_PREFETCH_DEGREE})",
+            cfg.degree
+        );
         StreamPrefetcher {
             cfg,
             entries: Vec::with_capacity(cfg.streams),
+            regions: Vec::with_capacity(cfg.streams),
             clock: 0,
             stats: PrefetchStats::default(),
         }
@@ -94,8 +177,10 @@ impl StreamPrefetcher {
     /// Observes a demand access at byte address `addr` and appends the
     /// *byte addresses* of lines to prefetch to `out`.
     ///
-    /// Prefetches never cross the 4 KB region boundary.
-    pub fn observe(&mut self, addr: u64, out: &mut Vec<u64>) {
+    /// Prefetches never cross the 4 KB region boundary. At most
+    /// `degree` targets are appended, which always fit `out`'s fixed
+    /// capacity (enforced at construction).
+    pub fn observe(&mut self, addr: u64, out: &mut PrefetchTargets) {
         if !self.cfg.enabled {
             return;
         }
@@ -108,11 +193,14 @@ impl StreamPrefetcher {
         // Find a matching stream in this or the previous region (streams
         // follow sequential accesses across region boundaries by
         // re-allocating; adjacent-region continuation keeps them trained).
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.region == region || e.region + 1 == region)
+        // The scan runs over the dense region mirror; first match wins,
+        // exactly as a scan over `entries` in insertion order would.
+        if let Some(pos) = self
+            .regions
+            .iter()
+            .position(|&r| r == region || r + 1 == region)
         {
+            let e = &mut self.entries[pos];
             e.lru = self.clock;
             let delta = line - e.last_line;
             if delta == 0 {
@@ -127,10 +215,23 @@ impl StreamPrefetcher {
             }
             e.last_line = line;
             e.region = region;
+            self.regions[pos] = region;
             if e.confidence >= self.cfg.train_threshold as u32 && e.stride != 0 {
                 // Issue up to `degree` strides ahead of the demand pointer,
-                // skipping targets already issued for this stream.
-                for k in 1..=self.cfg.degree as i64 {
+                // skipping targets already issued for this stream. For a
+                // positive stride the already-issued targets form a
+                // contiguous prefix of the k range (targets grow with k and
+                // `issued_until` is their maximum), so the loop starts at
+                // the first unissued k directly — the steady-state
+                // sequential stream issues exactly one new line per
+                // observation instead of filtering `degree` candidates.
+                let k_first = match e.issued_until {
+                    // First k with line + k*stride > u (floor division:
+                    // u - line may be negative after a region jump).
+                    Some(u) if e.stride > 0 => ((u - line).div_euclid(e.stride) + 1).max(1),
+                    _ => 1,
+                };
+                for k in k_first..=self.cfg.degree as i64 {
                     let target = line + k * e.stride;
                     if target < region_first_line || target > region_last_line {
                         break;
@@ -168,8 +269,10 @@ impl StreamPrefetcher {
         };
         if self.entries.len() < self.cfg.streams {
             self.entries.push(entry);
-        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.lru) {
-            *victim = entry;
+            self.regions.push(region);
+        } else if let Some(victim) = (0..self.entries.len()).min_by_key(|&i| self.entries[i].lru) {
+            self.entries[victim] = entry;
+            self.regions[victim] = region;
         }
     }
 }
@@ -185,7 +288,7 @@ mod tests {
     #[test]
     fn untrained_stream_issues_nothing() {
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         p.observe(0, &mut out);
         assert!(out.is_empty());
         assert_eq!(p.stats().issued, 0);
@@ -194,47 +297,51 @@ mod tests {
     #[test]
     fn sequential_stream_trains_and_runs_ahead() {
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         for i in 0..4u64 {
             p.observe(i * 64, &mut out);
         }
         assert!(p.stats().issued > 0);
         // Every prefetch must have been ahead of the demand pointer at the
         // time it was issued (the earliest issue happens at line 2).
-        assert!(out.iter().all(|&a| a > 2 * 64));
+        assert!(out.as_slice().iter().all(|&a| a > 2 * 64));
     }
 
     #[test]
     fn prefetches_stay_within_page() {
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         // Train near the end of a 4 KB region.
         let base = 4096 - 3 * 64;
         for i in 0..3u64 {
             p.observe(base + i * 64, &mut out);
         }
         assert!(
-            out.iter().all(|&a| a < 4096),
-            "no prefetch may cross the region boundary: {out:?}"
+            out.as_slice().iter().all(|&a| a < 4096),
+            "no prefetch may cross the region boundary: {:?}",
+            out.as_slice()
         );
     }
 
     #[test]
     fn strided_stream_is_detected() {
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         // Stride of 2 lines (128 bytes).
         for i in 0..5u64 {
             p.observe(i * 128, &mut out);
         }
         assert!(p.stats().issued > 0);
-        assert!(out.iter().all(|&a| a % 128 == 0), "stride-2 targets only");
+        assert!(
+            out.as_slice().iter().all(|&a| a % 128 == 0),
+            "stride-2 targets only"
+        );
     }
 
     #[test]
     fn random_accesses_do_not_train() {
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         // Varying deltas within one region never reach confidence 2.
         for &a in &[0u64, 512, 64, 1024, 192, 2048] {
             p.observe(a, &mut out);
@@ -248,7 +355,7 @@ mod tests {
             enabled: false,
             ..PrefetchConfig::default()
         });
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         for i in 0..100u64 {
             p.observe(i * 64, &mut out);
         }
@@ -261,7 +368,7 @@ mod tests {
             streams: 2,
             ..PrefetchConfig::default()
         });
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         // Three different regions; with 2 entries the oldest is evicted and
         // the structure never grows beyond the configured size.
         p.observe(0, &mut out);
@@ -275,11 +382,11 @@ mod tests {
         // Emulate the full loop: every issued prefetch for a sequential
         // stream is eventually demanded.
         let mut p = pf();
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::new();
         for i in 0..1000u64 {
-            let before = out.len();
+            out.clear();
             p.observe(i * 64, &mut out);
-            for _ in before..out.len() {
+            for _ in 0..out.len() {
                 p.record_useful(); // sequential: all will be used
             }
         }
