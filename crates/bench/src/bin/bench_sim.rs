@@ -175,17 +175,25 @@ fn full(args: &[String]) {
     let mut json_path = None;
     let mut scale = 64usize;
     let mut it = args.iter();
+    let usage = |msg: String| -> ! {
+        eprintln!("error: {msg} (usage: bench_sim [--smoke|--micro] [--scale N] [--json PATH])");
+        std::process::exit(2)
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => usage("--json needs a path".to_string()),
+            },
             "--scale" => {
-                scale = it
+                let v = it
                     .next()
-                    .expect("--scale needs a value")
+                    .unwrap_or_else(|| usage("--scale needs a value".to_string()));
+                scale = v
                     .parse()
-                    .expect("--scale integer")
+                    .unwrap_or_else(|_| usage(format!("--scale needs an integer, got `{v}`")));
             }
-            other => panic!("unknown argument: {other}"),
+            other => usage(format!("unknown argument: {other}")),
         }
     }
     let time_path = |path: ExecPath| -> (f64, String) {
@@ -217,10 +225,21 @@ fn full(args: &[String]) {
         speedup: ref_secs / fast_secs,
         paths_bit_identical: true,
     };
-    println!("{}", serde_json::to_string_pretty(&record).expect("json"));
+    let text = match serde_json::to_string_pretty(&record) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot serialize bench record: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{text}");
     if let Some(p) = json_path {
-        std::fs::write(&p, serde_json::to_string_pretty(&record).expect("json"))
-            .expect("write json");
+        // The measurement is already on stdout; a failed file write is an
+        // error exit with context, not a panic with a backtrace.
+        if let Err(e) = std::fs::write(&p, &text) {
+            eprintln!("error: cannot write {p}: {e}");
+            std::process::exit(1);
+        }
         println!("wrote {p}");
     }
 }

@@ -5,18 +5,24 @@
 //! invocations (or warm sweeps) replay those files instead of
 //! re-simulating. With `--refresh` existing traces are discarded first.
 //!
+//! Cells run under the supervised runtime: completed cells are journalled
+//! under the cache root, so a killed run can be continued with `--resume`
+//! and still produce the identical `--json` report; cells that keep
+//! panicking (or exceed `--deadline-ms`) are quarantined, reported, and
+//! reflected in the exit code (3 = completed with quarantined cells).
+//!
 //! ```text
 //! capture_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
-//!             [--refresh] [--quiet]
+//!             [--refresh] [--resume] [--json PATH] [--attempts N]
+//!             [--deadline-ms MS] [--quiet]
 //! ```
 
 use std::time::Instant;
 
 use zcomp::experiments::{fig12, fullnet};
-use zcomp::sweep::SweepOpts;
-use zcomp_bench::{print_machine, SweepArgs};
+use zcomp::sweep::SupervisionReport;
+use zcomp_bench::{print_machine, save_json, SweepArgs};
 use zcomp_dnn::deepbench::all_configs;
-use zcomp_replay::CacheMode;
 
 /// Sums the cache directory's trace files; errors just mean "unknown".
 fn cache_contents(dir: &str) -> Option<(usize, u64)> {
@@ -32,39 +38,69 @@ fn cache_contents(dir: &str) -> Option<(usize, u64)> {
     Some((files, bytes))
 }
 
+/// Prints the supervision summary and quarantine details, and returns the
+/// process exit code (0 clean, 3 when cells were quarantined).
+fn report_supervision(supervision: &SupervisionReport) -> i32 {
+    println!("supervision: {}", supervision.summary());
+    for failure in &supervision.quarantined {
+        eprintln!("quarantined: {failure}");
+    }
+    if supervision.quarantined.is_empty() {
+        0
+    } else {
+        3
+    }
+}
+
 fn main() {
     let args = SweepArgs::from_env();
     print_machine();
-    let mut opts = SweepOpts::default()
-        .with_cache(&args.traces)
-        .with_threads(args.effective_threads());
-    if args.refresh {
-        opts = opts.with_mode(CacheMode::Refresh);
-    }
+    let opts = args.sweep_opts();
     println!(
-        "capturing {} (scale {}, {} threads) into {}{}",
+        "capturing {} (scale {}, {} threads) into {}{}{}",
         args.experiment,
         args.scale,
         opts.threads,
         args.traces,
-        if args.refresh { " [refresh]" } else { "" }
+        if args.refresh { " [refresh]" } else { "" },
+        if args.resume { " [resume]" } else { "" }
     );
     let t0 = Instant::now();
-    let cells = match args.experiment.as_str() {
+    let (cells, supervision) = match args.experiment.as_str() {
         "fig12" => {
-            let r = fig12::run_sweep(&all_configs(), args.scale, 0.53, &opts);
-            let s = r.summary();
+            let out = match fig12::run_sweep(&all_configs(), args.scale, 0.53, &opts) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let s = out.result.summary();
             println!(
                 "fig12: zcomp core cut {:.1}%, dram cut {:.1}%, speedup {:.2}x",
                 s.zcomp_core_reduction * 100.0,
                 s.zcomp_dram_reduction * 100.0,
                 s.zcomp_speedup
             );
-            r.rows.len() * fig12::SCHEMES.len()
+            // The JSON carries the scientific result only, so a resumed
+            // run's file is byte-identical to an uninterrupted one.
+            if let Some(path) = &args.json {
+                save_json(path, &out.result);
+            }
+            (
+                out.result.rows.len() * fig12::SCHEMES.len(),
+                out.supervision,
+            )
         }
         _ => {
-            let r = fullnet::run_sweep(args.scale, &opts);
-            let s = r.summary();
+            let out = match fullnet::run_sweep(args.scale, &opts) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let s = out.result.summary();
             println!(
                 "fullnet: zcomp traffic cut {:.1}%/{:.1}% (train/infer), speedup {:.2}x/{:.2}x",
                 s.zcomp_train_traffic * 100.0,
@@ -72,7 +108,13 @@ fn main() {
                 s.zcomp_train_speedup,
                 s.zcomp_infer_speedup
             );
-            r.rows.iter().map(|row| row.cells.len()).sum()
+            if let Some(path) = &args.json {
+                save_json(path, &out.result);
+            }
+            (
+                out.result.rows.iter().map(|row| row.cells.len()).sum(),
+                out.supervision,
+            )
         }
     };
     let secs = t0.elapsed().as_secs_f64();
@@ -82,5 +124,9 @@ fn main() {
             bytes as f64 / (1024.0 * 1024.0)
         ),
         None => println!("captured {cells} cells in {secs:.2}s"),
+    }
+    let code = report_supervision(&supervision);
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -1,10 +1,16 @@
 //! Fault-injection campaign: detection rate, silent-corruption rate,
 //! degradation overhead and desync distance, swept over fault rate ×
 //! injection site, under the strong (separate headers + CRC32) and weak
-//! (interleaved, no checksum) integrity policies.
+//! (interleaved, no checksum) integrity policies. Campaign cells run
+//! under the supervised runtime — a panicking (site, rate) cell is
+//! quarantined and reported (exit 3) instead of aborting the campaign.
 
-use zcomp::experiments::fault_campaign::{run_config, CampaignConfig, FaultCampaignResult};
+use zcomp::experiments::fault_campaign::{
+    run_config_supervised, CampaignConfig, FaultCampaignResult,
+};
 use zcomp::report::pct;
+use zcomp::supervise::SuperviseOpts;
+use zcomp::sweep::SupervisionReport;
 use zcomp_bench::{print_machine, print_table, FigArgs};
 
 #[derive(serde::Serialize)]
@@ -28,15 +34,33 @@ fn print_summary(label: &str, r: &FaultCampaignResult) {
     println!();
 }
 
+fn report_supervision(label: &str, supervision: &SupervisionReport) -> bool {
+    if supervision.quarantined.is_empty() {
+        return false;
+    }
+    eprintln!("supervision ({label}): {}", supervision.summary());
+    for failure in &supervision.quarantined {
+        eprintln!("quarantined: {failure}");
+    }
+    true
+}
+
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
     let cfg = CampaignConfig::default_scaled(args.scale);
-    let strong = run_config(&cfg);
-    let weak = run_config(&cfg.clone().weak_policy());
+    let opts = SuperviseOpts::default();
+    let strong_out = run_config_supervised(&cfg, &opts);
+    let weak_out = run_config_supervised(&cfg.clone().weak_policy(), &opts);
+    let (strong, weak) = (strong_out.result, weak_out.result);
     print_table(&strong.table());
     print_summary("separate headers + CRC32 (strong)", &strong);
     print_table(&weak.table());
     print_summary("interleaved, no checksum (weak)", &weak);
     args.save_json(&Output { strong, weak });
+    let sick = report_supervision("strong", &strong_out.supervision)
+        | report_supervision("weak", &weak_out.supervision);
+    if sick {
+        std::process::exit(3);
+    }
 }

@@ -5,13 +5,21 @@
 
 use zcomp::experiments::fig12::{self, Panel};
 use zcomp::report::pct;
+use zcomp::sweep::SweepOpts;
 use zcomp_bench::{print_machine, print_table, FigArgs};
-use zcomp_dnn::deepbench::Suite;
+use zcomp_dnn::deepbench::{all_configs, Suite};
 
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
-    let result = fig12::run(args.scale, 0.53);
+    // Supervised serial sweep (no cache): identical numbers to the plain
+    // runner, but a panicking cell is quarantined instead of fatal.
+    let out = fig12::run_sweep(&all_configs(), args.scale, 0.53, &SweepOpts::serial())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let result = out.result;
     for panel in [Panel::CoreTraffic, Panel::DramTraffic, Panel::Runtime] {
         print_table(&result.table(panel));
     }
@@ -54,4 +62,11 @@ fn main() {
         pct(result.zcomp_prefetch.coverage())
     );
     args.save_json(&result);
+    if !out.supervision.quarantined.is_empty() {
+        eprintln!("supervision: {}", out.supervision.summary());
+        for failure in &out.supervision.quarantined {
+            eprintln!("quarantined: {failure}");
+        }
+        std::process::exit(3);
+    }
 }

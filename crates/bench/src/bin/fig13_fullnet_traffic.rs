@@ -1,13 +1,21 @@
 //! Regenerates Figure 13: full-network data-traffic reduction for
-//! training (batch 64; ResNet 128) and inference (batch 4).
+//! training (batch 64; ResNet 128) and inference (batch 4). Cells run
+//! under the supervised runtime; a sick cell is quarantined (exit 3)
+//! instead of taking the figure down.
 
 use zcomp::report::pct;
+use zcomp::sweep::SweepOpts;
 use zcomp_bench::{print_machine, print_table, FigArgs};
 
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
-    let result = zcomp::experiments::fullnet::run(args.scale);
+    let out = zcomp::experiments::fullnet::run_sweep(args.scale, &SweepOpts::serial())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let result = out.result;
     print_table(&result.table_traffic());
     let s = result.summary();
     println!("== Figure 13 summary (paper values in parentheses) ==");
@@ -22,4 +30,11 @@ fn main() {
         pct(s.avx_infer_traffic)
     );
     args.save_json(&result);
+    if !out.supervision.quarantined.is_empty() {
+        eprintln!("supervision: {}", out.supervision.summary());
+        for failure in &out.supervision.quarantined {
+            eprintln!("quarantined: {failure}");
+        }
+        std::process::exit(3);
+    }
 }

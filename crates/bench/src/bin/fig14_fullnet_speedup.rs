@@ -1,12 +1,20 @@
 //! Regenerates Figure 14: full-network speedup over the uncompressed
-//! baseline for training and inference.
+//! baseline for training and inference. Cells run under the supervised
+//! runtime; a sick cell is quarantined (exit 3) instead of taking the
+//! figure down.
 
+use zcomp::sweep::SweepOpts;
 use zcomp_bench::{print_machine, print_table, FigArgs};
 
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
-    let result = zcomp::experiments::fullnet::run(args.scale);
+    let out = zcomp::experiments::fullnet::run_sweep(args.scale, &SweepOpts::serial())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let result = out.result;
     print_table(&result.table_speedup());
     let s = result.summary();
     println!("== Figure 14 summary (paper values in parentheses) ==");
@@ -23,4 +31,11 @@ fn main() {
         s.avx_slowdowns
     );
     args.save_json(&result);
+    if !out.supervision.quarantined.is_empty() {
+        eprintln!("supervision: {}", out.supervision.summary());
+        for failure in &out.supervision.quarantined {
+            eprintln!("quarantined: {failure}");
+        }
+        std::process::exit(3);
+    }
 }

@@ -2,7 +2,9 @@
 //!
 //! The warm path of the capture/replay split: cells whose traces exist
 //! under `--traces` are reproduced from disk without regenerating
-//! workloads; missing cells simulate (and capture) as usual.
+//! workloads; missing cells simulate (and capture) as usual. Cells run
+//! under the supervised runtime, so a corrupt cached trace is quarantined
+//! and regenerated instead of failing the replay.
 //!
 //! * `--verify` re-runs the experiment in-process and asserts the replayed
 //!   statistics are identical — the end-to-end fidelity check.
@@ -11,32 +13,50 @@
 //!
 //! ```text
 //! replay_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
-//!            [--verify] [--bench PATH] [--quiet]
+//!            [--verify] [--bench PATH] [--resume] [--json PATH] [--quiet]
 //! ```
 
 use std::time::Instant;
 
 use serde::Serialize;
 use zcomp::experiments::{fig12, fullnet};
-use zcomp::sweep::SweepOpts;
-use zcomp_bench::{print_machine, SweepArgs};
+use zcomp::sweep::{SweepError, SweepOpts};
+use zcomp_bench::{print_machine, save_json, SweepArgs};
 use zcomp_dnn::deepbench::all_configs;
 use zcomp_replay::CacheMode;
 
-/// One timed sweep; returns (cells, seconds).
-fn timed_sweep(args: &SweepArgs, opts: &SweepOpts) -> (usize, f64) {
+fn sweep_fail(e: SweepError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1)
+}
+
+/// One timed sweep; returns (cells, quarantined, seconds).
+fn timed_sweep(args: &SweepArgs, opts: &SweepOpts) -> (usize, usize, f64) {
     let t0 = Instant::now();
-    let cells = match args.experiment.as_str() {
+    let (cells, quarantined) = match args.experiment.as_str() {
         "fig12" => {
-            let r = fig12::run_sweep(&all_configs(), args.scale, 0.53, opts);
-            r.rows.len() * fig12::SCHEMES.len()
+            let out = fig12::run_sweep(&all_configs(), args.scale, 0.53, opts)
+                .unwrap_or_else(|e| sweep_fail(e));
+            if let Some(path) = &args.json {
+                save_json(path, &out.result);
+            }
+            (
+                out.result.rows.len() * fig12::SCHEMES.len(),
+                out.supervision.quarantined.len(),
+            )
         }
         _ => {
-            let r = fullnet::run_sweep(args.scale, opts);
-            r.rows.iter().map(|row| row.cells.len()).sum()
+            let out = fullnet::run_sweep(args.scale, opts).unwrap_or_else(|e| sweep_fail(e));
+            if let Some(path) = &args.json {
+                save_json(path, &out.result);
+            }
+            (
+                out.result.rows.iter().map(|row| row.cells.len()).sum(),
+                out.supervision.quarantined.len(),
+            )
         }
     };
-    (cells, t0.elapsed().as_secs_f64())
+    (cells, quarantined, t0.elapsed().as_secs_f64())
 }
 
 /// Replays the sweep and checks it against a from-scratch in-process run.
@@ -45,10 +65,15 @@ fn verify(args: &SweepArgs, opts: &SweepOpts) -> bool {
     match args.experiment.as_str() {
         "fig12" => {
             let configs = all_configs();
-            let replayed = fig12::run_sweep(&configs, args.scale, 0.53, opts);
+            let replayed = fig12::run_sweep(&configs, args.scale, 0.53, opts)
+                .unwrap_or_else(|e| sweep_fail(e));
             let reference = fig12::run_configs(&configs, args.scale, 0.53);
-            let rows_ok = replayed.rows == reference.rows;
-            let prefetch_ok = replayed.zcomp_prefetch == reference.zcomp_prefetch;
+            if !replayed.result.quarantined.is_empty() {
+                eprintln!("verify: fig12 replay quarantined cells");
+                return false;
+            }
+            let rows_ok = replayed.result.rows == reference.rows;
+            let prefetch_ok = replayed.result.zcomp_prefetch == reference.zcomp_prefetch;
             if !rows_ok {
                 eprintln!("verify: fig12 rows differ between replay and in-process run");
             }
@@ -58,9 +83,13 @@ fn verify(args: &SweepArgs, opts: &SweepOpts) -> bool {
             rows_ok && prefetch_ok
         }
         _ => {
-            let replayed = fullnet::run_sweep(args.scale, opts);
+            let replayed = fullnet::run_sweep(args.scale, opts).unwrap_or_else(|e| sweep_fail(e));
             let reference = fullnet::run(args.scale);
-            let ok = replayed.rows == reference.rows;
+            if !replayed.result.quarantined.is_empty() {
+                eprintln!("verify: fullnet replay quarantined cells");
+                return false;
+            }
+            let ok = replayed.result.rows == reference.rows;
             if !ok {
                 eprintln!("verify: fullnet rows differ between replay and in-process run");
             }
@@ -87,17 +116,17 @@ struct BenchRecord {
 fn bench(args: &SweepArgs, path: &str) {
     let threads = args.effective_threads();
     let cache = |mode: CacheMode, threads: usize| {
-        SweepOpts::default()
-            .with_cache(&args.traces)
+        args.sweep_opts()
             .with_threads(threads)
             .with_mode(mode)
+            .with_resume(false)
     };
     println!("bench: cold capture (serial, refresh)...");
-    let (cells, cold) = timed_sweep(args, &cache(CacheMode::Refresh, 1));
+    let (cells, _, cold) = timed_sweep(args, &cache(CacheMode::Refresh, 1));
     println!("bench: warm replay (serial)...");
-    let (_, warm_serial) = timed_sweep(args, &cache(CacheMode::Auto, 1));
+    let (_, _, warm_serial) = timed_sweep(args, &cache(CacheMode::Auto, 1));
     println!("bench: warm replay ({threads} threads)...");
-    let (_, warm_parallel) = timed_sweep(args, &cache(CacheMode::Auto, threads));
+    let (_, _, warm_parallel) = timed_sweep(args, &cache(CacheMode::Auto, threads));
     let record = BenchRecord {
         experiment: args.experiment.clone(),
         scale: args.scale,
@@ -131,9 +160,7 @@ fn main() {
         bench(&args, path);
         return;
     }
-    let opts = SweepOpts::default()
-        .with_cache(&args.traces)
-        .with_threads(args.effective_threads());
+    let opts = args.sweep_opts();
     if args.verify {
         println!(
             "replaying {} (scale {}) from {} and verifying against an in-process run",
@@ -151,6 +178,9 @@ fn main() {
         "replaying {} (scale {}, {} threads) from {}",
         args.experiment, args.scale, opts.threads, args.traces
     );
-    let (cells, secs) = timed_sweep(&args, &opts);
-    println!("replayed {cells} cells in {secs:.2}s");
+    let (cells, quarantined, secs) = timed_sweep(&args, &opts);
+    println!("replayed {cells} cells in {secs:.2}s ({quarantined} quarantined)");
+    if quarantined > 0 {
+        std::process::exit(3);
+    }
 }

@@ -1,15 +1,32 @@
 //! Extension sweep: batch-size effect on the feature-map vs weight
 //! footprint balance (§2.3's motivation for larger batches stressing the
-//! memory system).
+//! memory system). Each model sweeps as a supervised cell, so one sick
+//! model is quarantined (exit 3) instead of losing the other tables.
 
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp::experiments::sweeps::batch_sweep;
+use zcomp_bench::{print_machine, print_table, run_supervised, FigArgs};
 use zcomp_dnn::models::ModelId;
+
+const BATCHES: [usize; 6] = [1, 4, 16, 64, 128, 256];
 
 fn main() {
     let _args = FigArgs::from_env();
     print_machine();
-    for model in ModelId::ALL {
-        let result = zcomp::experiments::sweeps::batch_sweep(model, &[1, 4, 16, 64, 128, 256]);
-        print_table(&result.table());
+    let (outcomes, code) = run_supervised(
+        "sweep_batch",
+        ModelId::ALL.len(),
+        |i| format!("model={}", ModelId::ALL[i]),
+        |i| {
+            let model = ModelId::ALL[i];
+            Box::new(move || batch_sweep(model, &BATCHES))
+        },
+    );
+    for outcome in &outcomes {
+        if let Some(result) = outcome.value() {
+            print_table(&result.table());
+        }
+    }
+    if code != 0 {
+        std::process::exit(code);
     }
 }

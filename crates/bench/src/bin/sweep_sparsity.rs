@@ -1,16 +1,32 @@
 //! Extension sweep: scheme sensitivity to feature-map sparsity on a
 //! DeepBench-scale ReLU layer (complements §4.1's break-even analysis).
+//! Each sparsity point simulates as a supervised cell; quarantined points
+//! are omitted from the table and reported on stderr (exit 3).
 
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp::experiments::sweeps::{sparsity_sweep, SparsitySweepResult};
+use zcomp_bench::{print_machine, print_table, run_supervised, FigArgs};
+
+const SPARSITIES: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.53, 0.6, 0.7, 0.8, 0.9];
 
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
-    let elements = (16 << 20) / args.scale.max(1);
-    let result = zcomp::experiments::sweeps::sparsity_sweep(
-        elements.max(64 * 1024),
-        &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.53, 0.6, 0.7, 0.8, 0.9],
+    let elements = ((16 << 20) / args.scale.max(1)).max(64 * 1024);
+    let (outcomes, code) = run_supervised(
+        "sweep_sparsity",
+        SPARSITIES.len(),
+        |i| format!("elements={elements};sparsity={}", SPARSITIES[i]),
+        |i| {
+            let sparsity = SPARSITIES[i];
+            Box::new(move || sparsity_sweep(elements, &[sparsity]).points[0])
+        },
     );
+    let result = SparsitySweepResult {
+        points: outcomes.iter().filter_map(|o| o.value().copied()).collect(),
+    };
     print_table(&result.table());
     args.save_json(&result);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

@@ -1,13 +1,37 @@
 //! Extension sweep: thread-count scalability of the three ReLU schemes
-//! (§4.3's partitioned-parallelization scaling argument).
+//! (§4.3's partitioned-parallelization scaling argument). Each thread
+//! count simulates as a supervised cell; quarantined points are omitted
+//! from the table and reported on stderr (exit 3).
 
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp::experiments::thread_sweep::{self, ThreadSweepResult};
+use zcomp_bench::{print_machine, print_table, run_supervised, FigArgs};
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
     let args = FigArgs::from_env();
     print_machine();
-    let elements = (16 << 20) / args.scale.max(1);
-    let result = zcomp::experiments::thread_sweep::run(elements.max(128 * 1024), &[1, 2, 4, 8, 16]);
+    let elements = ((16 << 20) / args.scale.max(1)).max(128 * 1024);
+    let (outcomes, code) = run_supervised(
+        "sweep_threads",
+        THREAD_COUNTS.len(),
+        |i| format!("elements={elements};threads={}", THREAD_COUNTS[i]),
+        |i| {
+            let threads = THREAD_COUNTS[i];
+            Box::new(move || thread_sweep::run(elements, &[threads]).points)
+        },
+    );
+    let result = ThreadSweepResult {
+        elements,
+        points: outcomes
+            .iter()
+            .filter_map(|o| o.value())
+            .flat_map(|points| points.iter().copied())
+            .collect(),
+    };
     print_table(&result.table());
     args.save_json(&result);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

@@ -22,6 +22,13 @@ struct Args {
     out_dir: String,
 }
 
+const USAGE: &str = "usage: trace_run <fig12|fullnet> [--scale N] [--out DIR]";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg} ({USAGE})");
+    std::process::exit(2)
+}
+
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
     let mut experiment = None;
     let mut scale = 64;
@@ -30,19 +37,32 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().expect("--scale needs a value");
-                scale = v.parse().expect("--scale needs an integer");
-                assert!(scale >= 1, "--scale must be >= 1");
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--scale needs a value"));
+                scale = v.parse().unwrap_or_else(|_| {
+                    usage_exit(&format!("--scale needs an integer, got `{v}`"))
+                });
+                if scale < 1 {
+                    usage_exit("--scale must be >= 1");
+                }
             }
-            "--out" => out_dir = it.next().expect("--out needs a path"),
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--out needs a path"));
+            }
             other if experiment.is_none() && !other.starts_with('-') => {
+                if other != "fig12" && other != "fullnet" {
+                    usage_exit(&format!("unknown experiment: {other}"));
+                }
                 experiment = Some(other.to_string());
             }
-            other => panic!("unknown argument: {other} (usage: trace_run <fig12|fullnet> [--scale N] [--out DIR])"),
+            other => usage_exit(&format!("unknown argument: {other}")),
         }
     }
     Args {
-        experiment: experiment.expect("usage: trace_run <fig12|fullnet> [--scale N] [--out DIR]"),
+        experiment: experiment.unwrap_or_else(|| usage_exit("missing experiment")),
         scale,
         out_dir,
     }
@@ -66,7 +86,8 @@ fn main() {
             let result = zcomp::experiments::fullnet::run(args.scale);
             log_info!("fullnet traced: {} rows", result.rows.len());
         }
-        other => panic!("unknown experiment: {other} (expected fig12 or fullnet)"),
+        // parse_args validates the experiment name up front.
+        other => usage_exit(&format!("unknown experiment: {other}")),
     }
     let events = tracer::session_end();
 
@@ -81,11 +102,18 @@ fn main() {
         }
     };
 
-    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("error: cannot create {}: {e}", args.out_dir);
+        std::process::exit(1);
+    }
     let trace_path = format!("{}/trace_{}.json", args.out_dir, args.experiment);
     let csv_path = format!("{}/counters_{}.csv", args.out_dir, args.experiment);
-    std::fs::write(&trace_path, &json).expect("write trace json");
-    std::fs::write(&csv_path, &counters).expect("write counter csv");
+    for (path, contents) in [(&trace_path, &json), (&csv_path, &counters)] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     println!(
         "trace_run: {} events ({} spans, {} counters, {} instants) over {} us",

@@ -9,9 +9,56 @@
 //!
 //! Each binary prints the Table-1 machine configuration first, then the
 //! figure's rows.
+//!
+//! Argument parsing is fallible by design: malformed command lines come
+//! back as a typed [`CliError`] with the offending flag named, and the
+//! `from_env` helpers turn that into a clean `error: …` + exit code 2 —
+//! never a panic with a backtrace pointing at the parser.
 
 use zcomp::report::Table;
+use zcomp::supervise::SuperviseOpts;
+use zcomp::sweep::SweepOpts;
+use zcomp_replay::CacheMode;
 use zcomp_sim::config::SimConfig;
+
+/// A malformed command line: which argument, and what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Exits with code 2 (the conventional usage-error code) after printing
+/// the parse failure to stderr.
+fn usage_exit(e: &CliError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2)
+}
+
+fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError::new(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| CliError::new(format!("{flag} needs an integer, got `{text}`")))
+}
 
 /// Parsed command-line options common to all figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,11 +73,7 @@ pub struct FigArgs {
 
 impl FigArgs {
     /// Parses `std::env::args`-style arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> FigArgs {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<FigArgs, CliError> {
         let mut out = FigArgs {
             scale: 1,
             json: None,
@@ -41,24 +84,28 @@ impl FigArgs {
             match arg.as_str() {
                 "--quick" => out.scale = 64,
                 "--scale" => {
-                    let v = it.next().expect("--scale needs a value");
-                    out.scale = v.parse().expect("--scale needs an integer");
-                    assert!(out.scale >= 1, "--scale must be >= 1");
+                    out.scale = parse_num("--scale", &value_of(&mut it, "--scale")?)?;
+                    if out.scale < 1 {
+                        return Err(CliError::new("--scale must be >= 1"));
+                    }
                 }
-                "--json" => out.json = Some(it.next().expect("--json needs a path")),
+                "--json" => out.json = Some(value_of(&mut it, "--json")?),
                 "--quiet" => out.quiet = true,
                 other => {
-                    panic!("unknown argument: {other} (expected --quick/--scale/--json/--quiet)")
+                    return Err(CliError::new(format!(
+                        "unknown argument: {other} (expected --quick/--scale/--json/--quiet)"
+                    )))
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parses the process arguments (skipping argv[0]) and applies the
-    /// logging choice (`--quiet` overrides `ZCOMP_LOG`).
+    /// logging choice (`--quiet` overrides `ZCOMP_LOG`); a malformed
+    /// command line prints the error and exits with code 2.
     pub fn from_env() -> FigArgs {
-        let args = FigArgs::parse(std::env::args().skip(1));
+        let args = FigArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| usage_exit(&e));
         if args.quiet {
             zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
         }
@@ -72,18 +119,24 @@ impl FigArgs {
     /// completed run into a non-zero exit.
     pub fn save_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let text = match serde_json::to_string_pretty(value) {
-                Ok(t) => t,
-                Err(e) => {
-                    zcomp_trace::log_warn!("cannot serialize results ({e}); {path} not written");
-                    return;
-                }
-            };
-            match std::fs::write(path, text) {
-                Ok(()) => zcomp_trace::log_info!("wrote {path}"),
-                Err(e) => zcomp_trace::log_warn!("cannot write {path}: {e}"),
-            }
+            save_json(path, value);
         }
+    }
+}
+
+/// Writes a serializable value to `path` as pretty JSON; failures are
+/// logged, not fatal (see [`FigArgs::save_json`]).
+pub fn save_json<T: serde::Serialize>(path: &str, value: &T) {
+    let text = match serde_json::to_string_pretty(value) {
+        Ok(t) => t,
+        Err(e) => {
+            zcomp_trace::log_warn!("cannot serialize results ({e}); {path} not written");
+            return;
+        }
+    };
+    match std::fs::write(path, text) {
+        Ok(()) => zcomp_trace::log_info!("wrote {path}"),
+        Err(e) => zcomp_trace::log_warn!("cannot write {path}: {e}"),
     }
 }
 
@@ -105,18 +158,21 @@ pub struct SweepArgs {
     pub verify: bool,
     /// Benchmark cold/warm/parallel and write JSON here (replay_run only).
     pub bench: Option<String>,
+    /// Write the sweep's scientific result as JSON here.
+    pub json: Option<String>,
+    /// Skip cells the journal records as complete.
+    pub resume: bool,
+    /// Attempts per cell before quarantine.
+    pub attempts: u32,
+    /// Per-cell watchdog deadline in milliseconds (0 = none).
+    pub deadline_ms: Option<u64>,
     /// Silence the stderr logger.
     pub quiet: bool,
 }
 
 impl SweepArgs {
     /// Parses `std::env::args`-style arguments (without argv[0]).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments, matching the
-    /// figure binaries' behaviour.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> SweepArgs {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<SweepArgs, CliError> {
         let mut out = SweepArgs {
             experiment: String::new(),
             scale: 1,
@@ -125,6 +181,10 @@ impl SweepArgs {
             refresh: false,
             verify: false,
             bench: None,
+            json: None,
+            resume: false,
+            attempts: SuperviseOpts::default().max_attempts,
+            deadline_ms: None,
             quiet: false,
         };
         let mut it = args.into_iter();
@@ -132,42 +192,62 @@ impl SweepArgs {
             match arg.as_str() {
                 "--quick" => out.scale = 64,
                 "--scale" => {
-                    let v = it.next().expect("--scale needs a value");
-                    out.scale = v.parse().expect("--scale needs an integer");
-                    assert!(out.scale >= 1, "--scale must be >= 1");
+                    out.scale = parse_num("--scale", &value_of(&mut it, "--scale")?)?;
+                    if out.scale < 1 {
+                        return Err(CliError::new("--scale must be >= 1"));
+                    }
                 }
-                "--traces" => out.traces = it.next().expect("--traces needs a directory"),
+                "--traces" => out.traces = value_of(&mut it, "--traces")?,
                 "--threads" => {
-                    let v = it.next().expect("--threads needs a value");
-                    out.threads = v.parse().expect("--threads needs an integer");
+                    out.threads = parse_num("--threads", &value_of(&mut it, "--threads")?)?;
                 }
                 "--refresh" => out.refresh = true,
                 "--verify" => out.verify = true,
-                "--bench" => out.bench = Some(it.next().expect("--bench needs a path")),
+                "--bench" => out.bench = Some(value_of(&mut it, "--bench")?),
+                "--json" => out.json = Some(value_of(&mut it, "--json")?),
+                "--resume" => out.resume = true,
+                "--attempts" => {
+                    out.attempts = parse_num("--attempts", &value_of(&mut it, "--attempts")?)?;
+                    if out.attempts < 1 {
+                        return Err(CliError::new("--attempts must be >= 1"));
+                    }
+                }
+                "--deadline-ms" => {
+                    out.deadline_ms = Some(parse_num(
+                        "--deadline-ms",
+                        &value_of(&mut it, "--deadline-ms")?,
+                    )?);
+                }
                 "--quiet" => out.quiet = true,
                 other if out.experiment.is_empty() && !other.starts_with('-') => {
-                    assert!(
-                        other == "fig12" || other == "fullnet",
-                        "unknown experiment: {other} (expected fig12 or fullnet)"
-                    );
+                    if other != "fig12" && other != "fullnet" {
+                        return Err(CliError::new(format!(
+                            "unknown experiment: {other} (expected fig12 or fullnet)"
+                        )));
+                    }
                     out.experiment = other.to_string();
                 }
-                other => panic!(
-                    "unknown argument: {other} (expected fig12|fullnet, \
-                     --quick/--scale/--traces/--threads/--refresh/--verify/--bench/--quiet)"
-                ),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown argument: {other} (expected fig12|fullnet, \
+                         --quick/--scale/--traces/--threads/--refresh/--verify/--bench/\
+                         --json/--resume/--attempts/--deadline-ms/--quiet)"
+                    )))
+                }
             }
         }
-        assert!(
-            !out.experiment.is_empty(),
-            "missing experiment: expected fig12 or fullnet"
-        );
-        out
+        if out.experiment.is_empty() {
+            return Err(CliError::new(
+                "missing experiment: expected fig12 or fullnet",
+            ));
+        }
+        Ok(out)
     }
 
-    /// Parses the process arguments and applies the logging choice.
+    /// Parses the process arguments and applies the logging choice; a
+    /// malformed command line prints the error and exits with code 2.
     pub fn from_env() -> SweepArgs {
-        let args = SweepArgs::parse(std::env::args().skip(1));
+        let args = SweepArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| usage_exit(&e));
         if args.quiet {
             zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
         }
@@ -182,6 +262,66 @@ impl SweepArgs {
             self.threads
         }
     }
+
+    /// The full sweep options these arguments describe: cache root and
+    /// mode, thread count, resume flag, and the supervision policy
+    /// (`--attempts`, `--deadline-ms`).
+    pub fn sweep_opts(&self) -> SweepOpts {
+        let mut supervise = SuperviseOpts::default().with_attempts(self.attempts);
+        if let Some(ms) = self.deadline_ms {
+            if ms > 0 {
+                supervise = supervise.with_deadline(std::time::Duration::from_millis(ms));
+            }
+        }
+        SweepOpts::default()
+            .with_cache(&self.traces)
+            .with_threads(self.effective_threads())
+            .with_mode(if self.refresh {
+                CacheMode::Refresh
+            } else {
+                CacheMode::Auto
+            })
+            .with_supervise(supervise)
+            .with_resume(self.resume)
+    }
+}
+
+/// Runs `items` cells serially under the supervised runtime — panic
+/// isolation and quarantine, no cache or journal — so one sick cell
+/// cannot take down a whole figure. Prints quarantine details to stderr
+/// and returns the per-cell outcomes plus the process exit code the
+/// supervision contract demands (0 clean, 3 when cells were quarantined).
+pub fn run_supervised<T, K, J>(
+    experiment: &str,
+    items: usize,
+    key_of: K,
+    make_job: J,
+) -> (Vec<zcomp::supervise::CellOutcome<T>>, i32)
+where
+    T: serde::Serialize + serde::Deserialize + Send + 'static,
+    K: Fn(usize) -> String + Sync,
+    J: Fn(usize) -> Box<dyn FnOnce() -> T + Send + 'static> + Sync,
+{
+    let run =
+        match zcomp::sweep::run_cells(experiment, items, 0, &SweepOpts::serial(), key_of, make_job)
+        {
+            Ok(run) => run,
+            Err(e) => {
+                // Unreachable without a cache root, but the contract stands.
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    let code = if run.report.quarantined.is_empty() {
+        0
+    } else {
+        eprintln!("supervision: {}", run.report.summary());
+        for failure in &run.report.quarantined {
+            eprintln!("quarantined: {failure}");
+        }
+        3
+    };
+    (run.outcomes, code)
 }
 
 /// Prints the Table-1 machine configuration.
@@ -204,7 +344,7 @@ mod tests {
 
     #[test]
     fn parse_defaults() {
-        let a = FigArgs::parse(Vec::<String>::new());
+        let a = FigArgs::parse(Vec::<String>::new()).unwrap();
         assert_eq!(a.scale, 1);
         assert_eq!(a.json, None);
         assert!(!a.quiet);
@@ -212,7 +352,7 @@ mod tests {
 
     #[test]
     fn parse_quiet() {
-        let a = FigArgs::parse(["--quiet".to_string()]);
+        let a = FigArgs::parse(["--quiet".to_string()]).unwrap();
         assert!(a.quiet);
         assert_eq!(a.scale, 1);
     }
@@ -223,32 +363,45 @@ mod tests {
             ["--quick", "--json", "/tmp/x.json"]
                 .iter()
                 .map(|s| s.to_string()),
-        );
+        )
+        .unwrap();
         assert_eq!(a.scale, 64);
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
     }
 
     #[test]
     fn parse_explicit_scale() {
-        let a = FigArgs::parse(["--scale", "8"].iter().map(|s| s.to_string()));
+        let a = FigArgs::parse(["--scale", "8"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(a.scale, 8);
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn unknown_flag_panics() {
-        FigArgs::parse(["--bogus".to_string()]);
+    fn unknown_flag_is_a_typed_error() {
+        let e = FigArgs::parse(["--bogus".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("unknown argument"), "{e}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_typed_errors() {
+        let e = FigArgs::parse(["--scale".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("--scale needs a value"), "{e}");
+        let e = FigArgs::parse(["--scale", "many"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(e.to_string().contains("integer"), "{e}");
+        let e = FigArgs::parse(["--scale", "0"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(e.to_string().contains(">= 1"), "{e}");
     }
 
     #[test]
     fn sweep_args_defaults() {
-        let a = SweepArgs::parse(["fig12".to_string()]);
+        let a = SweepArgs::parse(["fig12".to_string()]).unwrap();
         assert_eq!(a.experiment, "fig12");
         assert_eq!(a.scale, 1);
         assert_eq!(a.traces, "results/traces");
         assert_eq!(a.threads, 0);
         assert!(a.effective_threads() >= 1);
         assert!(!a.refresh && !a.verify && a.bench.is_none() && !a.quiet);
+        assert!(!a.resume && a.json.is_none() && a.deadline_ms.is_none());
+        assert_eq!(a.attempts, SuperviseOpts::default().max_attempts);
     }
 
     #[test]
@@ -266,28 +419,56 @@ mod tests {
                 "--verify",
                 "--bench",
                 "B.json",
+                "--json",
+                "R.json",
+                "--resume",
+                "--attempts",
+                "3",
+                "--deadline-ms",
+                "1500",
                 "--quiet",
             ]
             .iter()
             .map(|s| s.to_string()),
-        );
+        )
+        .unwrap();
         assert_eq!(a.experiment, "fullnet");
         assert_eq!(a.scale, 8);
         assert_eq!(a.traces, "/tmp/t");
         assert_eq!(a.effective_threads(), 4);
-        assert!(a.refresh && a.verify && a.quiet);
+        assert!(a.refresh && a.verify && a.quiet && a.resume);
         assert_eq!(a.bench.as_deref(), Some("B.json"));
+        assert_eq!(a.json.as_deref(), Some("R.json"));
+        assert_eq!(a.attempts, 3);
+        assert_eq!(a.deadline_ms, Some(1500));
+
+        let opts = a.sweep_opts();
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.cache_mode, CacheMode::Refresh);
+        assert!(opts.resume);
+        assert_eq!(opts.supervise.max_attempts, 3);
+        assert_eq!(
+            opts.supervise.deadline,
+            Some(std::time::Duration::from_millis(1500))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
     fn sweep_args_reject_bad_experiment() {
-        SweepArgs::parse(["fig99".to_string()]);
+        let e = SweepArgs::parse(["fig99".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("unknown experiment"), "{e}");
     }
 
     #[test]
-    #[should_panic(expected = "missing experiment")]
     fn sweep_args_require_experiment() {
-        SweepArgs::parse(["--quick".to_string()]);
+        let e = SweepArgs::parse(["--quick".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("missing experiment"), "{e}");
+    }
+
+    #[test]
+    fn sweep_args_reject_zero_attempts() {
+        let e = SweepArgs::parse(["fig12", "--attempts", "0"].iter().map(|s| s.to_string()))
+            .unwrap_err();
+        assert!(e.to_string().contains(">= 1"), "{e}");
     }
 }

@@ -29,6 +29,8 @@ use zcomp_sim::engine::Machine;
 use zcomp_sim::faults::{FaultConfig, FaultSite};
 
 use crate::report::{fmt_bytes, pct, Table};
+use crate::supervise::{self, CellFailure, CellOutcome, SuperviseOpts};
+use crate::sweep::{SupervisionReport, SweepOutcome};
 
 /// One campaign's configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -197,6 +199,10 @@ pub struct FaultCampaignResult {
     pub clean_store_cycles: f64,
     /// One cell per (site, rate), sites outer, rates inner.
     pub cells: Vec<CampaignCell>,
+    /// Cells the supervised campaign quarantined, in index order; their
+    /// slots hold zeroed placeholder cells. Always empty for
+    /// [`run_config`], which propagates panics instead.
+    pub quarantined: Vec<CellFailure>,
 }
 
 /// Aggregate summary over every cell with a non-zero rate.
@@ -336,6 +342,86 @@ pub fn run_config(cfg: &CampaignConfig) -> FaultCampaignResult {
         clean_load_cycles: clean.load_cycles,
         clean_store_cycles: clean.store_cycles,
         cells,
+        quarantined: Vec::new(),
+    }
+}
+
+/// [`run_config`] with every (site, rate) cell under the supervised-cell
+/// runtime: a panicking or hung cell is retried per `supervise` and, if
+/// it keeps failing, quarantined into the result's `quarantined` list
+/// with a zeroed placeholder cell — the rest of the campaign completes.
+///
+/// The clean control run stays *unsupervised*: if the baseline itself
+/// cannot run there is nothing meaningful to salvage, so that panic
+/// still propagates.
+pub fn run_config_supervised(
+    cfg: &CampaignConfig,
+    supervise_opts: &SuperviseOpts,
+) -> SweepOutcome<FaultCampaignResult> {
+    let _span = zcomp_trace::tracer::span("experiment", "fault_campaign");
+    assert!(cfg.trials > 0, "campaign needs at least one trial");
+    assert_eq!(cfg.elements % 16, 0, "elements must be whole vectors");
+    let data = std::sync::Arc::new(layer_data(cfg));
+    let opts = cfg.degrade_opts();
+
+    let clean = {
+        let mut machine = machine();
+        run_trial(&mut machine, &data, &opts)
+    };
+
+    let items = cfg.sites.len() * cfg.rates.len();
+    let mut report = SupervisionReport {
+        cells: items,
+        ..SupervisionReport::default()
+    };
+    let mut cells = Vec::with_capacity(items);
+    for (index, (&site, &rate)) in cfg
+        .sites
+        .iter()
+        .flat_map(|s| cfg.rates.iter().map(move |r| (s, r)))
+        .enumerate()
+    {
+        let key = format!("site={site:?};rate={rate:e}");
+        let outcome = supervise::run_cell(supervise_opts, index, &key, || {
+            // Self-contained job: campaign cells share the (immutable)
+            // layer data via Arc so a watchdog-abandoned attempt can
+            // safely outlive this frame.
+            let cfg = cfg.clone();
+            let data = std::sync::Arc::clone(&data);
+            let clean = clean.clone();
+            Box::new(move || run_cell(&cfg, site, rate, &data, &opts, &clean))
+        });
+        report.retries += outcome.retries();
+        report.executed += 1;
+        match outcome {
+            CellOutcome::Completed { value, .. } => cells.push(value),
+            CellOutcome::Quarantined(failure) => {
+                report.quarantined.push(failure);
+                cells.push(CampaignCell {
+                    site,
+                    rate,
+                    trials: 0,
+                    injected: 0,
+                    stream_hits: 0,
+                    detections: 0,
+                    outcomes: OutcomeCounts::default(),
+                    mean_extra_bytes: 0.0,
+                    load_cycle_overhead: 0.0,
+                    desync: DesyncDistribution::default(),
+                });
+            }
+        }
+    }
+    let result = FaultCampaignResult {
+        config: cfg.clone(),
+        clean_load_cycles: clean.load_cycles,
+        clean_store_cycles: clean.store_cycles,
+        cells,
+        quarantined: report.quarantined.clone(),
+    };
+    SweepOutcome {
+        result,
+        supervision: report,
     }
 }
 
@@ -489,6 +575,20 @@ mod tests {
         let text = r.table().render();
         assert!(text.contains("dram_burst"));
         assert!(text.contains("noc_flit"));
+    }
+
+    #[test]
+    fn supervised_campaign_matches_unsupervised() {
+        let cfg = quick_config();
+        let plain = run_config(&cfg);
+        let supervised = run_config_supervised(&cfg, &SuperviseOpts::default());
+        assert_eq!(plain, supervised.result);
+        assert!(supervised.result.quarantined.is_empty());
+        assert_eq!(
+            supervised.supervision.executed,
+            cfg.sites.len() * cfg.rates.len()
+        );
+        assert_eq!(supervised.supervision.retries, 0);
     }
 
     #[test]

@@ -12,14 +12,17 @@ use zcomp_dnn::deepbench::{all_configs, DeepBenchConfig};
 use zcomp_isa::uops::UopTable;
 use zcomp_kernels::nnz::nnz_synthetic;
 use zcomp_kernels::relu::{run_relu, run_relu_with_path, ExecPath, ReluOpts, ReluScheme};
-use zcomp_replay::{config_fingerprint, replay, CacheMode, TraceCache, TraceKey, TraceMeta};
+use zcomp_replay::{
+    config_fingerprint, replay, CacheMode, TraceCache, TraceError, TraceKey, TraceMeta,
+};
 use zcomp_sim::config::SimConfig;
 use zcomp_sim::engine::Machine;
 use zcomp_sim::stats::PrefetchStats;
 use zcomp_trace::log_warn;
 
 use crate::report::{fmt_bytes, mean, pct, Table};
-use crate::sweep::{run_sharded, SweepOpts};
+use crate::supervise::{CellFailure, CellOutcome};
+use crate::sweep::{run_cells, SweepError, SweepOpts, SweepOutcome};
 
 /// The three schemes in plotting order.
 pub const SCHEMES: [ReluScheme; 3] = [
@@ -93,6 +96,12 @@ pub struct Fig12Result {
     /// L2 prefetcher effectiveness aggregated over the zcomp runs
     /// (§3.3 reports 98–99% accuracy, 94–97% coverage).
     pub zcomp_prefetch: PrefetchStats,
+    /// Cells the supervised sweep quarantined after exhausting their
+    /// attempt budget, in index order. Their row slots hold zeroed
+    /// placeholder cells so the report shape — and byte layout — is
+    /// independent of *which* cells failed. Always empty for the plain
+    /// serial runners, which propagate panics instead.
+    pub quarantined: Vec<CellFailure>,
     /// Per-cell metrics (counters, gauges, latency histograms) collected
     /// while the trace feature is compiled in. Absent from trace-free
     /// builds so their JSON reports stay byte-identical.
@@ -287,6 +296,7 @@ pub fn run_configs_with_path(
     Fig12Result {
         rows,
         zcomp_prefetch,
+        quarantined: Vec::new(),
         #[cfg(feature = "trace")]
         metrics: registry.summary(),
     }
@@ -310,6 +320,37 @@ impl CellNote {
     }
 }
 
+/// What one supervised fig12 cell produces — the measured cell plus the
+/// prefetch counters the result aggregates. Serialized whole into the
+/// resume journal, so a restored cell is indistinguishable from an
+/// executed one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Fig12CellRecord {
+    cell: Fig12Cell,
+    prefetch: PrefetchStats,
+}
+
+/// The cache/journal key of one (config, scheme) cell. Everything that
+/// determines the cell's op stream is folded in, so a key hit is safe to
+/// replay and a journal hit is safe to restore.
+fn cell_key(
+    config: &DeepBenchConfig,
+    index: usize,
+    scheme: ReluScheme,
+    scale_divisor: usize,
+    sparsity: f64,
+) -> TraceKey {
+    let elements = (config.elements / scale_divisor.max(1)).max(256);
+    let seed = 0xF16_5EED ^ ((index as u64) << 8);
+    TraceKey::new(
+        "fig12",
+        format!(
+            "cfg={};scheme={scheme};elements={elements};sparsity={sparsity};seed={seed:#x};opts=default",
+            config.name
+        ),
+    )
+}
+
 /// Runs one (config, scheme) cell with the trace cache: replay on a valid
 /// hit, simulate-and-capture otherwise. Every cache failure — open,
 /// replay, capture, finish — degrades to plain in-process simulation.
@@ -326,13 +367,7 @@ fn sweep_cell(
     let seed = 0xF16_5EED ^ ((index as u64) << 8);
     let sim_cfg = SimConfig::table1();
     let fingerprint = config_fingerprint(&sim_cfg);
-    let key = TraceKey::new(
-        "fig12",
-        format!(
-            "cfg={};scheme={scheme};elements={elements};sparsity={sparsity};seed={seed:#x};opts=default",
-            config.name
-        ),
-    );
+    let key = cell_key(config, index, scheme, scale_divisor, sparsity);
     if let Some(cache) = cache {
         match mode {
             CacheMode::Refresh => cache.evict(&key, fingerprint),
@@ -356,9 +391,17 @@ fn sweep_cell(
                                 "fig12 trace for [{}] lacks a window or note; re-capturing",
                                 key.cell
                             );
+                            cache.quarantine_replay_failure(
+                                &key,
+                                fingerprint,
+                                "replayed clean but lacks a measurement window or note",
+                            );
                         }
                         Err(e) => {
-                            log_warn!("fig12 replay of [{}] failed ({e}); re-capturing", key.cell)
+                            log_warn!("fig12 replay of [{}] failed ({e}); re-capturing", key.cell);
+                            if !matches!(e, TraceError::Io(_)) {
+                                cache.quarantine_replay_failure(&key, fingerprint, &e.to_string());
+                            }
                         }
                     }
                 }
@@ -407,59 +450,96 @@ fn sweep_cell(
     (cell, machine.summary().l2_prefetch)
 }
 
-/// Runs the Figure 12 sweep sharded across threads with trace-cached
-/// cells; equivalent to [`run_configs`] cell for cell.
+/// Runs the Figure 12 sweep sharded across threads with trace-cached,
+/// *supervised* cells; equivalent to [`run_configs`] cell for cell.
 ///
 /// Cold cells simulate in-process (capturing a trace when a cache is
 /// configured); warm cells replay their cached trace, skipping workload
-/// generation. The merge is deterministic: results are assembled in
-/// config/scheme order regardless of which worker finished first.
+/// generation. Every cell runs under the supervision policy in `opts`
+/// (panic isolation, optional watchdog deadline, deterministic retry);
+/// cells that exhaust their budget land in `quarantined` with a zeroed
+/// placeholder in their row slot instead of aborting the sweep. With a
+/// cache root configured, completed cells are journalled so
+/// `opts.resume` skips them on a re-run — the resumed result is
+/// byte-identical to an uninterrupted one. The merge is deterministic:
+/// results are assembled in config/scheme order regardless of which
+/// worker finished first.
 pub fn run_sweep(
     configs: &[DeepBenchConfig],
     scale_divisor: usize,
     sparsity: f64,
     opts: &SweepOpts,
-) -> Fig12Result {
+) -> Result<SweepOutcome<Fig12Result>, SweepError> {
     let _span = zcomp_trace::tracer::span("experiment", "fig12-sweep");
-    #[cfg(feature = "trace")]
-    let registry = std::sync::Mutex::new(zcomp_trace::metrics::MetricsRegistry::new());
-    let cache = opts.cache();
+    let cache = opts.cache()?;
+    let fingerprint = config_fingerprint(&SimConfig::table1());
     let items = configs.len() * SCHEMES.len();
-    let cells = run_sharded(items, opts.threads, |idx| {
-        let config_index = idx / SCHEMES.len();
-        let scheme = SCHEMES[idx % SCHEMES.len()];
-        let out = sweep_cell(
-            cache.as_ref(),
-            opts.cache_mode,
-            &configs[config_index],
-            config_index,
-            scheme,
+    let key_of = |idx: usize| {
+        cell_key(
+            &configs[idx / SCHEMES.len()],
+            idx / SCHEMES.len(),
+            SCHEMES[idx % SCHEMES.len()],
             scale_divisor,
             sparsity,
-        );
-        #[cfg(feature = "trace")]
-        {
-            let mut reg = match registry.lock() {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            };
-            reg.incr("fig12.cells", 1);
-            reg.observe("fig12.cycles", out.0.cycles);
-            reg.observe("fig12.dram_bytes", out.0.dram_bytes as f64);
-            reg.gauge("fig12.compression_ratio", out.0.compression_ratio);
-        }
-        out
-    });
+        )
+        .cell
+    };
+    let make_job = |idx: usize| -> Box<dyn FnOnce() -> Fig12CellRecord + Send + 'static> {
+        // The job must be self-contained ('static): a watchdogged attempt
+        // may outlive this stack frame.
+        let cache = cache.clone();
+        let mode = opts.cache_mode;
+        let config = configs[idx / SCHEMES.len()].clone();
+        let config_index = idx / SCHEMES.len();
+        let scheme = SCHEMES[idx % SCHEMES.len()];
+        Box::new(move || {
+            let (cell, prefetch) = sweep_cell(
+                cache.as_ref(),
+                mode,
+                &config,
+                config_index,
+                scheme,
+                scale_divisor,
+                sparsity,
+            );
+            Fig12CellRecord { cell, prefetch }
+        })
+    };
+    let run = run_cells("fig12", items, fingerprint, opts, key_of, make_job)?;
+
+    #[cfg(feature = "trace")]
+    let mut registry = zcomp_trace::metrics::MetricsRegistry::new();
     let mut rows = Vec::with_capacity(configs.len());
     let mut zcomp_prefetch = PrefetchStats::default();
     for (ci, config) in configs.iter().enumerate() {
         let mut row_cells = Vec::with_capacity(SCHEMES.len());
         for (si, scheme) in SCHEMES.iter().enumerate() {
-            let (cell, prefetch) = &cells[ci * SCHEMES.len() + si];
-            if *scheme == ReluScheme::Zcomp {
-                zcomp_prefetch.merge(prefetch);
-            }
-            row_cells.push(cell.clone());
+            let cell = match &run.outcomes[ci * SCHEMES.len() + si] {
+                CellOutcome::Completed { value, .. } => {
+                    if *scheme == ReluScheme::Zcomp {
+                        zcomp_prefetch.merge(&value.prefetch);
+                    }
+                    #[cfg(feature = "trace")]
+                    {
+                        registry.incr("fig12.cells", 1);
+                        registry.observe("fig12.cycles", value.cell.cycles);
+                        registry.observe("fig12.dram_bytes", value.cell.dram_bytes as f64);
+                        registry.gauge("fig12.compression_ratio", value.cell.compression_ratio);
+                    }
+                    value.cell.clone()
+                }
+                // Quarantined slot: an explicit zeroed placeholder keeps
+                // the row shape (and byte layout) stable; the failure
+                // itself is reported in `quarantined`.
+                CellOutcome::Quarantined(_) => Fig12Cell {
+                    scheme: *scheme,
+                    onchip_bytes: 0,
+                    dram_bytes: 0,
+                    cycles: 0.0,
+                    compression_ratio: 0.0,
+                },
+            };
+            row_cells.push(cell);
         }
         rows.push(Fig12Row {
             config: config.clone(),
@@ -467,16 +547,23 @@ pub fn run_sweep(
             cells: row_cells,
         });
     }
-    Fig12Result {
+    #[cfg(feature = "trace")]
+    {
+        registry.incr("fig12.retries", run.report.retries);
+        registry.incr("fig12.resume_skips", run.report.resume_skips as u64);
+        registry.incr("fig12.quarantined", run.report.quarantined.len() as u64);
+    }
+    let result = Fig12Result {
         rows,
         zcomp_prefetch,
+        quarantined: run.report.quarantined.clone(),
         #[cfg(feature = "trace")]
-        metrics: match registry.into_inner() {
-            Ok(r) => r,
-            Err(p) => p.into_inner(),
-        }
-        .summary(),
-    }
+        metrics: registry.summary(),
+    };
+    Ok(SweepOutcome {
+        result,
+        supervision: run.report,
+    })
 }
 
 #[cfg(test)]
@@ -538,25 +625,86 @@ mod tests {
         let root = std::env::temp_dir().join(format!("ztrc-fig12-sweep-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         // Cold: serial, capturing into the cache.
-        let cold = run_sweep(configs, 4096, 0.53, &SweepOpts::serial().with_cache(&root));
+        let cold = run_sweep(configs, 4096, 0.53, &SweepOpts::serial().with_cache(&root))
+            .expect("cold sweep");
         // Warm: parallel, replaying the captured traces.
         let warm = run_sweep(
             configs,
             4096,
             0.53,
             &SweepOpts::default().with_cache(&root).with_threads(4),
-        );
+        )
+        .expect("warm sweep");
         let _ = std::fs::remove_dir_all(&root);
 
         assert_eq!(
-            reference.rows, cold.rows,
+            reference.rows, cold.result.rows,
             "cold sweep must match run_configs"
         );
         assert_eq!(
-            reference.rows, warm.rows,
+            reference.rows, warm.result.rows,
             "warm replay must match run_configs"
         );
-        assert_eq!(reference.zcomp_prefetch, cold.zcomp_prefetch);
-        assert_eq!(reference.zcomp_prefetch, warm.zcomp_prefetch);
+        assert_eq!(reference.zcomp_prefetch, cold.result.zcomp_prefetch);
+        assert_eq!(reference.zcomp_prefetch, warm.result.zcomp_prefetch);
+        assert!(cold.result.quarantined.is_empty());
+        assert_eq!(cold.supervision.executed, configs.len() * SCHEMES.len());
+        assert_eq!(cold.supervision.retries, 0);
+    }
+
+    #[test]
+    fn resumed_sweep_reproduces_the_interrupted_result() {
+        let configs = &suite_configs(Suite::ConvTrain)[..2];
+        let root = std::env::temp_dir().join(format!("ztrc-fig12-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // The uninterrupted reference run (its own cache dir, so the
+        // resumed run can't borrow its traces).
+        let ref_root = root.join("ref");
+        let full = run_sweep(
+            configs,
+            4096,
+            0.53,
+            &SweepOpts::serial().with_cache(&ref_root),
+        )
+        .expect("reference sweep");
+
+        // "Interrupted" run: journal exists with some completed cells
+        // (simulated by running a prefix of the sweep).
+        let run_root = root.join("run");
+        run_sweep(
+            &configs[..1],
+            4096,
+            0.53,
+            &SweepOpts::serial().with_cache(&run_root),
+        )
+        .expect("partial sweep");
+
+        // Resume over the full config set: the first config's cells are
+        // restored from the journal, the rest execute.
+        let resumed = run_sweep(
+            configs,
+            4096,
+            0.53,
+            &SweepOpts::serial().with_cache(&run_root).with_resume(true),
+        )
+        .expect("resumed sweep");
+        assert_eq!(resumed.supervision.resume_skips, SCHEMES.len());
+        assert_eq!(resumed.supervision.executed, SCHEMES.len());
+        assert_eq!(
+            resumed.result.rows, full.result.rows,
+            "resume must be exact"
+        );
+        assert_eq!(resumed.result.zcomp_prefetch, full.result.zcomp_prefetch);
+        // The scientific JSON must be byte-identical. (Trace builds embed
+        // run-shape metrics — cells executed vs resumed — so the byte
+        // check is for the default, trace-free report.)
+        #[cfg(not(feature = "trace"))]
+        assert_eq!(
+            serde_json::to_string(&resumed.result).unwrap(),
+            serde_json::to_string(&full.result).unwrap(),
+            "resumed JSON must be byte-identical to an uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

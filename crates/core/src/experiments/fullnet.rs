@@ -12,13 +12,16 @@ use zcomp_dnn::sparsity::SparsityModel;
 use zcomp_isa::uops::UopTable;
 use zcomp_kernels::layer_exec::Scheme;
 use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
-use zcomp_replay::{config_fingerprint, replay, CacheMode, TraceCache, TraceKey, TraceMeta};
+use zcomp_replay::{
+    config_fingerprint, replay, CacheMode, TraceCache, TraceError, TraceKey, TraceMeta,
+};
 use zcomp_sim::config::SimConfig;
 use zcomp_sim::engine::{Machine, RunSummary};
 use zcomp_trace::log_warn;
 
 use crate::report::{mean, pct, Table};
-use crate::sweep::{run_sharded, SweepOpts};
+use crate::supervise::{CellFailure, CellOutcome};
+use crate::sweep::{run_cells, SweepError, SweepOpts, SweepOutcome};
 
 /// Training or inference column group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,6 +94,10 @@ impl FullNetRow {
 pub struct FullNetResult {
     /// All (network, mode) rows.
     pub rows: Vec<FullNetRow>,
+    /// Cells the supervised sweep quarantined, in index order; their row
+    /// slots hold zeroed placeholder cells. Always empty for the plain
+    /// serial runner.
+    pub quarantined: Vec<CellFailure>,
     /// Per-run metrics (counters, gauges, latency histograms) collected
     /// while the trace feature is compiled in. Absent from trace-free
     /// builds so their JSON reports stay byte-identical.
@@ -251,6 +258,7 @@ pub fn run(batch_divisor: usize) -> FullNetResult {
     }
     FullNetResult {
         rows,
+        quarantined: Vec::new(),
         #[cfg(feature = "trace")]
         metrics: registry.summary(),
     }
@@ -299,7 +307,10 @@ fn sweep_cell(
                             log_warn!(
                                 "fullnet replay of [{}] failed ({e}); re-capturing",
                                 key.cell
-                            )
+                            );
+                            if !matches!(e, TraceError::Io(_)) {
+                                cache.quarantine_replay_failure(&key, fingerprint, &e.to_string());
+                            }
                         }
                     }
                 }
@@ -350,69 +361,102 @@ fn sweep_cell(
     cell_from_summary(scheme, &result.summary)
 }
 
-/// Runs the full-network sweep sharded across threads with trace-cached
-/// cells; equivalent to [`run`] row for row.
+/// Runs the full-network sweep sharded across threads with trace-cached,
+/// *supervised* cells; equivalent to [`run`] row for row.
 ///
 /// All 30 (network, mode, scheme) cells are independent; warm cells replay
 /// their cached trace without rebuilding the network or re-profiling
-/// sparsity. The merge is deterministic regardless of scheduling.
-pub fn run_sweep(batch_divisor: usize, opts: &SweepOpts) -> FullNetResult {
+/// sparsity. Cells run under the supervision policy in `opts` — panics
+/// and watchdog timeouts quarantine the cell (zeroed placeholder slot +
+/// entry in `quarantined`) instead of aborting; with a cache root,
+/// completions are journalled and `opts.resume` restores them exactly.
+/// The merge is deterministic regardless of scheduling.
+pub fn run_sweep(
+    batch_divisor: usize,
+    opts: &SweepOpts,
+) -> Result<SweepOutcome<FullNetResult>, SweepError> {
     let _span = zcomp_trace::tracer::span("experiment", "fullnet-sweep");
-    #[cfg(feature = "trace")]
-    let registry = std::sync::Mutex::new(zcomp_trace::metrics::MetricsRegistry::new());
-    let cache = opts.cache();
+    let cache = opts.cache()?;
+    let fingerprint = config_fingerprint(&SimConfig::table1());
     let modes = [Mode::Training, Mode::Inference];
     let batch_of = |model: ModelId, mode: Mode| match mode {
         Mode::Training => (model.training_batch() / batch_divisor.max(1)).max(1),
         Mode::Inference => model.inference_batch(),
     };
-    let items = ModelId::ALL.len() * modes.len() * SCHEMES.len();
-    let cells = run_sharded(items, opts.threads, |idx| {
+    let cell_of = |idx: usize| {
         let model = ModelId::ALL[idx / (modes.len() * SCHEMES.len())];
         let mode = modes[(idx / SCHEMES.len()) % modes.len()];
         let scheme = SCHEMES[idx % SCHEMES.len()];
-        let cell = sweep_cell(
-            cache.as_ref(),
-            opts.cache_mode,
-            model,
-            mode,
-            scheme,
-            batch_of(model, mode),
-        );
-        #[cfg(feature = "trace")]
-        {
-            let mut reg = match registry.lock() {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            };
-            reg.incr("fullnet.runs", 1);
-            reg.observe("fullnet.wall_cycles", cell.cycles);
-            reg.observe("fullnet.dram_bytes", cell.dram_bytes as f64);
-            reg.gauge("fullnet.memory_fraction", cell.memory_fraction);
-        }
-        cell
-    });
+        (model, mode, scheme)
+    };
+    let items = ModelId::ALL.len() * modes.len() * SCHEMES.len();
+    let key_of = |idx: usize| {
+        let (model, mode, scheme) = cell_of(idx);
+        let batch = batch_of(model, mode);
+        format!("model={model};mode={mode};scheme={scheme:?};batch={batch};profile=50")
+    };
+    let make_job = |idx: usize| -> Box<dyn FnOnce() -> FullNetCell + Send + 'static> {
+        let cache = cache.clone();
+        let cache_mode = opts.cache_mode;
+        let (model, mode, scheme) = cell_of(idx);
+        let batch = batch_of(model, mode);
+        Box::new(move || sweep_cell(cache.as_ref(), cache_mode, model, mode, scheme, batch))
+    };
+    let run = run_cells("fullnet", items, fingerprint, opts, key_of, make_job)?;
+
+    #[cfg(feature = "trace")]
+    let mut registry = zcomp_trace::metrics::MetricsRegistry::new();
     let mut rows = Vec::with_capacity(ModelId::ALL.len() * modes.len());
-    let mut it = cells.into_iter();
+    let mut it = run.outcomes.iter().enumerate();
     for model in ModelId::ALL {
         for mode in modes {
+            let cells = it
+                .by_ref()
+                .take(SCHEMES.len())
+                .map(|(idx, outcome)| match outcome {
+                    CellOutcome::Completed { value, .. } => {
+                        #[cfg(feature = "trace")]
+                        {
+                            registry.incr("fullnet.runs", 1);
+                            registry.observe("fullnet.wall_cycles", value.cycles);
+                            registry.observe("fullnet.dram_bytes", value.dram_bytes as f64);
+                            registry.gauge("fullnet.memory_fraction", value.memory_fraction);
+                        }
+                        *value
+                    }
+                    CellOutcome::Quarantined(_) => FullNetCell {
+                        scheme: SCHEMES[idx % SCHEMES.len()],
+                        onchip_bytes: 0,
+                        dram_bytes: 0,
+                        cycles: 0.0,
+                        memory_fraction: 0.0,
+                    },
+                })
+                .collect();
             rows.push(FullNetRow {
                 model,
                 mode,
                 batch: batch_of(model, mode),
-                cells: it.by_ref().take(SCHEMES.len()).collect(),
+                cells,
             });
         }
     }
-    FullNetResult {
-        rows,
-        #[cfg(feature = "trace")]
-        metrics: match registry.into_inner() {
-            Ok(r) => r,
-            Err(p) => p.into_inner(),
-        }
-        .summary(),
+    #[cfg(feature = "trace")]
+    {
+        registry.incr("fullnet.retries", run.report.retries);
+        registry.incr("fullnet.resume_skips", run.report.resume_skips as u64);
+        registry.incr("fullnet.quarantined", run.report.quarantined.len() as u64);
     }
+    let result = FullNetResult {
+        rows,
+        quarantined: run.report.quarantined.clone(),
+        #[cfg(feature = "trace")]
+        metrics: registry.summary(),
+    };
+    Ok(SweepOutcome {
+        result,
+        supervision: run.report,
+    })
 }
 
 #[cfg(test)]
@@ -476,12 +520,22 @@ mod tests {
         let root = std::env::temp_dir().join(format!("ztrc-fullnet-sweep-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         // Cold: parallel capture into the cache (order must not matter).
-        let cold = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4));
+        let cold = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4))
+            .expect("cold sweep");
         // Warm: replay every cell from the cache.
-        let warm = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4));
+        let warm = run_sweep(16, &SweepOpts::default().with_cache(&root).with_threads(4))
+            .expect("warm sweep");
         let _ = std::fs::remove_dir_all(&root);
 
-        assert_eq!(reference.rows, cold.rows, "cold sweep must match run()");
-        assert_eq!(reference.rows, warm.rows, "warm replay must match run()");
+        assert_eq!(
+            reference.rows, cold.result.rows,
+            "cold sweep must match run()"
+        );
+        assert_eq!(
+            reference.rows, warm.result.rows,
+            "warm replay must match run()"
+        );
+        assert!(cold.result.quarantined.is_empty());
+        assert_eq!(cold.supervision.cells, 30);
     }
 }

@@ -31,6 +31,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod supervise;
 pub mod sweep;
 
 pub use zcomp_cachecomp;

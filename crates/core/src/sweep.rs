@@ -1,6 +1,9 @@
-//! Sharded sweep execution: spreads independent experiment cells across
-//! OS threads with a deterministic merge, and carries the trace-cache
-//! policy the cell runners use.
+//! Sharded, *supervised* sweep execution: spreads independent experiment
+//! cells across OS threads with a deterministic merge, carries the
+//! trace-cache policy the cell runners use, and wraps every cell in the
+//! [`supervise`](crate::supervise) runtime — panic isolation, watchdog
+//! deadlines, deterministic retry, quarantine, and a crash-safe
+//! completion journal for `--resume`.
 //!
 //! Every cell of the Fig. 12 and full-network sweeps builds its own
 //! [`Machine`](zcomp_sim::Machine) from a fixed seed, so cells are
@@ -8,24 +11,89 @@
 //! *deterministic* regardless of scheduling. [`run_sharded`] hands out
 //! work-stealing indices through an atomic counter, tags each result with
 //! its index, and sorts on merge — the output vector is byte-for-byte the
-//! one a serial loop would produce.
+//! one a serial loop would produce. [`run_cells`] layers supervision on
+//! top without disturbing that property: quarantined indices carry an
+//! explicit [`CellFailure`] marker, journal-restored cells decode to the
+//! exact value the original execution produced, and the merged report of
+//! a resumed sweep is byte-identical to an uninterrupted one.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use zcomp_replay::{CacheMode, TraceCache};
+use serde::{Deserialize, Serialize};
+use zcomp_replay::{CacheMode, TraceCache, TraceError};
+use zcomp_trace::log_warn;
 
-/// Options of a sharded, trace-cached sweep.
+use crate::supervise::{CellFailure, CellOutcome, Journal, SuperviseOpts};
+
+/// A sweep-level failure detected *before* any cell runs (as opposed to
+/// per-cell failures, which are quarantined, not raised).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The trace-cache root cannot be created or written. Surfaced at
+    /// sweep start so a bad `--traces` path fails in milliseconds, not
+    /// per-cell over hours.
+    CacheRoot {
+        /// The offending root directory.
+        root: PathBuf,
+        /// The underlying cache error.
+        source: TraceError,
+    },
+    /// The resume journal exists but cannot be read.
+    Journal {
+        /// The journal file path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::CacheRoot { root, source } => write!(
+                f,
+                "trace cache root {} is unusable: {source}",
+                root.display()
+            ),
+            SweepError::Journal { path, source } => {
+                write!(
+                    f,
+                    "sweep journal {} is unreadable: {source}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::CacheRoot { source, .. } => Some(source),
+            SweepError::Journal { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Options of a sharded, trace-cached, supervised sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOpts {
     /// Worker threads; `0` or `1` runs serially on the calling thread.
     pub threads: usize,
     /// Trace-cache root; `None` disables capture/replay entirely and every
-    /// cell simulates in-process.
+    /// cell simulates in-process. The root also hosts the per-experiment
+    /// resume journal.
     pub cache_root: Option<PathBuf>,
     /// Cache policy (replay hits vs forced re-capture).
     pub cache_mode: CacheMode,
+    /// Per-cell supervision policy (attempts, deadline, backoff).
+    pub supervise: SuperviseOpts,
+    /// Skip cells recorded as complete in the journal instead of starting
+    /// over. Requires `cache_root`; ignored without one.
+    pub resume: bool,
 }
 
 impl Default for SweepOpts {
@@ -34,6 +102,8 @@ impl Default for SweepOpts {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_root: None,
             cache_mode: CacheMode::Auto,
+            supervise: SuperviseOpts::default(),
+            resume: false,
         }
     }
 }
@@ -44,12 +114,11 @@ impl SweepOpts {
     pub fn serial() -> Self {
         SweepOpts {
             threads: 1,
-            cache_root: None,
-            cache_mode: CacheMode::Auto,
+            ..SweepOpts::default()
         }
     }
 
-    /// Enables the trace cache under `root`.
+    /// Enables the trace cache (and resume journal) under `root`.
     pub fn with_cache(mut self, root: impl Into<PathBuf>) -> Self {
         self.cache_root = Some(root.into());
         self
@@ -67,10 +136,221 @@ impl SweepOpts {
         self
     }
 
-    /// The cache handle, if caching is enabled.
-    pub(crate) fn cache(&self) -> Option<TraceCache> {
-        self.cache_root.as_ref().map(TraceCache::new)
+    /// Sets the per-cell supervision policy.
+    pub fn with_supervise(mut self, supervise: SuperviseOpts) -> Self {
+        self.supervise = supervise;
+        self
     }
+
+    /// Enables (or disables) journal-based resume.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The cache handle, if caching is enabled. The root is validated
+    /// (created and write-probed) here, so an unusable `--traces` path is
+    /// a typed [`SweepError::CacheRoot`] at sweep start rather than a
+    /// per-cell failure mid-run.
+    pub(crate) fn cache(&self) -> Result<Option<TraceCache>, SweepError> {
+        match &self.cache_root {
+            None => Ok(None),
+            Some(root) => TraceCache::open_validated(root)
+                .map(Some)
+                .map_err(|source| SweepError::CacheRoot {
+                    root: root.clone(),
+                    source,
+                }),
+        }
+    }
+}
+
+/// What the supervisor observed across one sweep: counts plus the
+/// structured failure report of every quarantined cell. Serialized next
+/// to (never inside) the experiment result, so the scientific JSON stays
+/// byte-identical whether or not cells were retried or resumed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SupervisionReport {
+    /// Total cells in the sweep.
+    pub cells: usize,
+    /// Cells actually executed this run (not restored from the journal).
+    pub executed: usize,
+    /// Cells restored from the resume journal without executing.
+    pub resume_skips: usize,
+    /// Retry attempts consumed beyond each cell's first try.
+    pub retries: u64,
+    /// Cells that exhausted their attempt budget, in index order.
+    pub quarantined: Vec<CellFailure>,
+}
+
+impl SupervisionReport {
+    /// One-line human summary (for binaries' stderr).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells: {} executed, {} resumed, {} retries, {} quarantined",
+            self.cells,
+            self.executed,
+            self.resume_skips,
+            self.retries,
+            self.quarantined.len()
+        )
+    }
+}
+
+/// An experiment result bundled with its [`SupervisionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome<R> {
+    /// The experiment's scientific result.
+    pub result: R,
+    /// What the supervisor observed producing it.
+    pub supervision: SupervisionReport,
+}
+
+/// The raw product of [`run_cells`]: per-index outcomes in index order,
+/// plus the aggregated supervision report.
+#[derive(Debug)]
+pub struct CellsRun<T> {
+    /// One outcome per cell index.
+    pub outcomes: Vec<CellOutcome<T>>,
+    /// The aggregated supervision report.
+    pub report: SupervisionReport,
+}
+
+/// Runs `items` supervised cells, sharded over `opts.threads`, journalling
+/// completions under the cache root and honouring `opts.resume`.
+///
+/// `key_of(i)` names cell `i` — the same descriptor string the trace
+/// cache uses, which (with `fingerprint`) keys the journal record.
+/// `make_job(i)` builds a fresh self-contained closure per attempt; see
+/// [`supervise::run_cell`](crate::supervise::run_cell) for why it must be
+/// `'static`.
+///
+/// Determinism: outcomes come back in index order; journal-restored cells
+/// decode the exact JSON payload the original execution committed, so a
+/// resumed sweep merges to the identical result an uninterrupted run
+/// produces.
+pub fn run_cells<T, K, J>(
+    experiment: &str,
+    items: usize,
+    fingerprint: u32,
+    opts: &SweepOpts,
+    key_of: K,
+    make_job: J,
+) -> Result<CellsRun<T>, SweepError>
+where
+    T: Serialize + Deserialize + Send + 'static,
+    K: Fn(usize) -> String + Sync,
+    J: Fn(usize) -> Box<dyn FnOnce() -> T + Send + 'static> + Sync,
+{
+    // Validate the cache root up front even though the caller holds its
+    // own handle — a bad root must fail here, not mid-sweep.
+    let journal: Option<Mutex<Journal>> = match &opts.cache_root {
+        None => None,
+        Some(root) => {
+            opts.cache()?;
+            let path = root.join(experiment).join("journal.jsonl");
+            let journal = if opts.resume {
+                Journal::load(&path).map_err(|source| SweepError::Journal {
+                    path: path.clone(),
+                    source,
+                })?
+            } else {
+                Journal::fresh(&path)
+            };
+            Some(Mutex::new(journal))
+        }
+    };
+
+    // Resume pass: restore verified-complete cells without executing.
+    let mut outcomes: Vec<Option<CellOutcome<T>>> = (0..items).map(|_| None).collect();
+    let mut resume_skips = 0usize;
+    if opts.resume {
+        if let Some(journal) = &journal {
+            let journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+            for (index, slot) in outcomes.iter_mut().enumerate() {
+                let key = key_of(index);
+                if let Some(payload) = journal.lookup(&key, fingerprint) {
+                    match serde_json::from_str::<T>(payload) {
+                        Ok(value) => {
+                            *slot = Some(CellOutcome::Completed { value, attempts: 0 });
+                            resume_skips += 1;
+                        }
+                        Err(e) => {
+                            log_warn!(
+                                "journal payload for cell {index} [{key}] does not decode \
+                                 ({e}); re-running"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if resume_skips > 0 {
+        zcomp_trace::tracer::counter("supervise.resume_skips", resume_skips as f64);
+    }
+
+    // Execute the remaining cells under supervision.
+    let pending: Vec<usize> = (0..items).filter(|&i| outcomes[i].is_none()).collect();
+    let ran = run_sharded(pending.len(), opts.threads, |j| {
+        let index = pending[j];
+        let key = key_of(index);
+        let outcome = crate::supervise::run_cell(&opts.supervise, index, &key, || make_job(index));
+        if let CellOutcome::Completed { value, attempts } = &outcome {
+            if *attempts > 0 {
+                if let Some(journal) = &journal {
+                    match serde_json::to_string(value) {
+                        Ok(payload) => {
+                            let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+                            if let Err(e) = journal.commit(key.clone(), fingerprint, payload) {
+                                // The journal is an aid, not a dependency:
+                                // losing a record only costs re-execution
+                                // on a future resume.
+                                log_warn!(
+                                    "journal commit for cell {index} [{key}] failed ({e}); \
+                                     continuing unjournalled"
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            log_warn!("cell {index} [{key}] result does not serialize: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    });
+    for (j, outcome) in ran.into_iter().enumerate() {
+        outcomes[pending[j]] = Some(outcome);
+    }
+
+    // Merge, in index order, and aggregate the report.
+    let mut report = SupervisionReport {
+        cells: items,
+        resume_skips,
+        ..SupervisionReport::default()
+    };
+    let mut merged = Vec::with_capacity(items);
+    for outcome in outcomes.into_iter().flatten() {
+        report.retries += outcome.retries();
+        match &outcome {
+            CellOutcome::Completed { attempts, .. } => {
+                if *attempts > 0 {
+                    report.executed += 1;
+                }
+            }
+            CellOutcome::Quarantined(failure) => {
+                report.executed += 1;
+                report.quarantined.push(failure.clone());
+            }
+        }
+        merged.push(outcome);
+    }
+    Ok(CellsRun {
+        outcomes: merged,
+        report,
+    })
 }
 
 /// Runs `worker` for every index in `0..items` across up to `threads`
@@ -79,7 +359,8 @@ impl SweepOpts {
 /// Scheduling is work-stealing (an atomic next-index counter), so uneven
 /// cell costs balance automatically; the index-sorted merge keeps the
 /// output identical to a serial run. A panicking worker propagates the
-/// panic to the caller once the scope joins.
+/// panic to the caller once the scope joins (supervised sweeps never let
+/// it get that far — cells panic inside `catch_unwind`).
 pub fn run_sharded<T, F>(items: usize, threads: usize, worker: F) -> Vec<T>
 where
     T: Send,
@@ -155,5 +436,83 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(o.cache_root.is_none());
         assert_eq!(o.cache_mode, CacheMode::Auto);
+        assert!(!o.resume);
+        assert_eq!(o.supervise, SuperviseOpts::default());
+    }
+
+    fn temp_root(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("zsweep-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn unwritable_cache_root_is_a_typed_error_at_start() {
+        // A root whose parent is a *file* cannot be created.
+        let blocker = temp_root("blocker");
+        let _ = std::fs::remove_file(&blocker);
+        std::fs::write(&blocker, b"file").unwrap();
+        let opts = SweepOpts::serial().with_cache(blocker.join("nested"));
+        let err = opts.cache().expect_err("root under a file must fail");
+        let text = err.to_string();
+        assert!(text.contains("unusable"), "got: {text}");
+        assert!(std::error::Error::source(&err).is_some());
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn run_cells_quarantines_and_journals_then_resumes() {
+        let root = temp_root("cells");
+        let _ = std::fs::remove_dir_all(&root);
+        let opts = SweepOpts::serial()
+            .with_cache(&root)
+            .with_supervise(SuperviseOpts::single());
+        let key_of = |i: usize| format!("cell-{i}");
+        let job = |i: usize| -> Box<dyn FnOnce() -> u64 + Send + 'static> {
+            Box::new(move || {
+                if i == 2 {
+                    panic!("injected");
+                }
+                (i as u64) * 10
+            })
+        };
+        let run = run_cells("unit", 4, 7, &opts, key_of, job).unwrap();
+        assert_eq!(run.report.cells, 4);
+        assert_eq!(run.report.executed, 4);
+        assert_eq!(run.report.resume_skips, 0);
+        assert_eq!(run.report.quarantined.len(), 1);
+        assert_eq!(run.report.quarantined[0].index, 2);
+        assert_eq!(run.outcomes[1].value(), Some(&10));
+        assert!(run.outcomes[2].value().is_none());
+        assert!(root.join("unit").join("journal.jsonl").exists());
+
+        // Resume: completed cells restore (attempts == 0), only the
+        // quarantined one re-runs — and this time it succeeds.
+        let opts = opts.with_resume(true);
+        let job = |i: usize| -> Box<dyn FnOnce() -> u64 + Send + 'static> {
+            Box::new(move || (i as u64) * 10)
+        };
+        let run = run_cells("unit", 4, 7, &opts, key_of, job).unwrap();
+        assert_eq!(run.report.resume_skips, 3);
+        assert_eq!(run.report.executed, 1);
+        assert!(run.report.quarantined.is_empty());
+        let values: Vec<u64> = run.outcomes.iter().map(|o| *o.value().unwrap()).collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fingerprint_change_invalidates_journal_entries() {
+        let root = temp_root("fp");
+        let _ = std::fs::remove_dir_all(&root);
+        let opts = SweepOpts::serial().with_cache(&root);
+        let key_of = |i: usize| format!("c{i}");
+        let job =
+            |i: usize| -> Box<dyn FnOnce() -> u64 + Send + 'static> { Box::new(move || i as u64) };
+        run_cells("fp", 2, 1, &opts, key_of, job).unwrap();
+        let run = run_cells("fp", 2, 2, &opts.clone().with_resume(true), key_of, job).unwrap();
+        assert_eq!(
+            run.report.resume_skips, 0,
+            "a different machine fingerprint must not resume stale cells"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,223 @@
+//! End-to-end exercises of the supervised sweep runtime: the acceptance
+//! scenario from the supervised-runtime work.
+//!
+//! A sweep containing a panicking cell, a hung cell, and a corrupted
+//! cached trace must complete, with exactly those cells quarantined (or
+//! healed) and everything else produced normally — and a corrupt `.ztrc`
+//! must be moved aside, regenerated, and never silently replayed into the
+//! results.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use zcomp::experiments::fig12;
+use zcomp::supervise::{CellOutcome, FailureReason, SuperviseOpts};
+use zcomp::sweep::{run_cells, SweepOpts};
+use zcomp_dnn::deepbench::{suite_configs, Suite};
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("zcomp-supervised-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn ztrc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("read cache root")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ztrc"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Fault-campaign cross-check for the trace cache: corrupting a cached
+/// trace between a cold and a warm sweep must (a) leave the warm results
+/// identical to the cold ones — the cell regenerates instead of replaying
+/// garbage — and (b) move the damaged file into `quarantine/` with a
+/// reason sidecar, with a fresh trace taking its slot.
+#[test]
+fn corrupted_cached_trace_is_quarantined_and_regenerated() {
+    let configs = &suite_configs(Suite::ConvTrain)[..2];
+    let root = tmp_root("heal");
+    let opts = SweepOpts::serial().with_cache(&root);
+
+    let cold = fig12::run_sweep(configs, 4096, 0.53, &opts).expect("cold sweep");
+    assert!(cold.supervision.quarantined.is_empty());
+    let traces = ztrc_files(&root);
+    assert_eq!(traces.len(), configs.len() * fig12::SCHEMES.len());
+
+    // Flip one byte in the middle of a cached trace.
+    let victim = &traces[traces.len() / 2];
+    let mut bytes = std::fs::read(victim).expect("read trace");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5A;
+    std::fs::write(victim, &bytes).expect("write corrupted trace");
+
+    let warm = fig12::run_sweep(configs, 4096, 0.53, &opts).expect("warm sweep");
+    assert!(warm.supervision.quarantined.is_empty());
+    assert_eq!(
+        warm.result.rows, cold.result.rows,
+        "a corrupt cached trace must be regenerated, never silently replayed"
+    );
+
+    let qfile = root.join("quarantine").join(victim.file_name().unwrap());
+    assert!(qfile.exists(), "damaged trace must land in quarantine/");
+    let mut reason = qfile.clone().into_os_string();
+    reason.push(".reason.txt");
+    assert!(
+        std::fs::read_to_string(reason)
+            .expect("reason sidecar")
+            .contains("verification"),
+        "reason sidecar must explain the quarantine"
+    );
+    assert!(
+        victim.exists(),
+        "the cache slot must hold a regenerated trace"
+    );
+    assert_ne!(
+        std::fs::read(victim).expect("reread trace"),
+        bytes,
+        "regenerated trace must not be the corrupted bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The acceptance sweep: ten cells where one always panics and one always
+/// hangs. The sweep completes, the sick cells are quarantined with their
+/// specific failure reasons, and every healthy cell's value is present in
+/// index order.
+#[test]
+fn sweep_with_panicking_and_hung_cells_completes_with_them_quarantined() {
+    const PANICKER: usize = 3;
+    const SLEEPER: usize = 7;
+    let root = tmp_root("sick-cells");
+    let opts = SweepOpts::default()
+        .with_threads(4)
+        .with_cache(&root)
+        .with_supervise(
+            SuperviseOpts::default()
+                .with_attempts(2)
+                .with_deadline(Duration::from_millis(200))
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(2)),
+        );
+
+    let run = run_cells(
+        "acceptance",
+        10,
+        0xBEEF,
+        &opts,
+        |i| format!("cell-{i}"),
+        |i| {
+            Box::new(move || match i {
+                PANICKER => panic!("injected panic in cell {i}"),
+                SLEEPER => {
+                    std::thread::sleep(Duration::from_secs(600));
+                    0u64
+                }
+                _ => (i as u64) * 11,
+            })
+        },
+    )
+    .expect("sweep must complete despite sick cells");
+
+    assert_eq!(run.report.cells, 10);
+    assert_eq!(run.report.executed, 10);
+    assert_eq!(run.report.quarantined.len(), 2);
+    // One retry each: both sick cells consumed their full attempt budget.
+    assert_eq!(run.report.retries, 2);
+
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        match outcome {
+            CellOutcome::Completed { value, .. } => {
+                assert_ne!(i, PANICKER);
+                assert_ne!(i, SLEEPER);
+                assert_eq!(*value, (i as u64) * 11);
+            }
+            CellOutcome::Quarantined(failure) => {
+                assert_eq!(failure.index, i);
+                assert_eq!(failure.attempts, 2);
+                match (i, &failure.reason) {
+                    (PANICKER, FailureReason::Panicked { message }) => {
+                        assert!(message.contains("injected panic in cell 3"))
+                    }
+                    (SLEEPER, FailureReason::DeadlineExceeded { limit_ms }) => {
+                        assert_eq!(*limit_ms, 200)
+                    }
+                    other => panic!("unexpected quarantine: {other:?}"),
+                }
+            }
+        }
+    }
+
+    // Quarantined cells are NOT journalled: a resume re-runs exactly the
+    // sick cells and restores the healthy ones without executing them.
+    let resumed = run_cells(
+        "acceptance",
+        10,
+        0xBEEF,
+        &SweepOpts {
+            resume: true,
+            ..opts.clone()
+        },
+        |i| format!("cell-{i}"),
+        |i| {
+            Box::new(move || {
+                assert!(
+                    i == PANICKER || i == SLEEPER,
+                    "healthy cell {i} must resume from the journal, not re-run"
+                );
+                (i as u64) * 11 // the sick cells recover this time
+            })
+        },
+    )
+    .expect("resume");
+    assert_eq!(resumed.report.resume_skips, 8);
+    assert_eq!(resumed.report.executed, 2);
+    assert!(resumed.report.quarantined.is_empty());
+    for (i, outcome) in resumed.outcomes.iter().enumerate() {
+        assert_eq!(outcome.value(), Some(&((i as u64) * 11)));
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A flaky cell that fails on its first attempt and succeeds on retry is
+/// NOT quarantined, and the retry is visible in the report.
+#[test]
+fn flaky_cell_recovers_on_retry_without_quarantine() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static TRIES: AtomicU32 = AtomicU32::new(0);
+
+    let opts = SweepOpts::serial().with_supervise(
+        SuperviseOpts::default()
+            .with_attempts(3)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(2)),
+    );
+    let run = run_cells(
+        "flaky",
+        3,
+        0,
+        &opts,
+        |i| format!("cell-{i}"),
+        |i| {
+            Box::new(move || {
+                if i == 1 && TRIES.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient failure");
+                }
+                i as u64
+            })
+        },
+    )
+    .expect("sweep");
+    assert!(run.report.quarantined.is_empty());
+    assert_eq!(run.report.retries, 1);
+    assert_eq!(
+        run.outcomes
+            .iter()
+            .map(|o| *o.value().unwrap())
+            .collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+}

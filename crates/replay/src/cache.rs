@@ -16,12 +16,21 @@
 //! unreadable file, corrupt or truncated trace, version or config
 //! mismatch — and the caller regenerates; a sweep never aborts because a
 //! cached file went bad.
+//!
+//! The cache is also *self-healing*: a file that fails verification on
+//! read (CRC, version, or config-fingerprint mismatch) is moved into a
+//! `quarantine/` subdirectory next to a `<name>.reason.txt` explaining
+//! why, so the next capture regenerates it transparently and the rotted
+//! bytes stay available for post-mortem instead of being silently
+//! replayed or clobbered. Transient I/O errors (permissions, disk
+//! trouble) leave the file in place — only *proven* corruption is
+//! quarantined.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
-use zcomp_trace::log_warn;
+use zcomp_trace::{log_warn, tracer};
 
 use crate::codec::{TraceMeta, TraceReader, FORMAT_VERSION};
 use crate::recorder::CaptureSession;
@@ -93,6 +102,20 @@ impl TraceCache {
         TraceCache { root: root.into() }
     }
 
+    /// Opens a cache rooted at `root` and *validates* the root: creates
+    /// the directory if needed and write-probes it. An unusable root —
+    /// parent is a file, permissions deny writes, disk full — comes back
+    /// as a typed error immediately, so sweeps can refuse a bad
+    /// `--traces` path at start instead of failing per-cell for hours.
+    pub fn open_validated(root: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        let root: PathBuf = root.into();
+        std::fs::create_dir_all(&root).map_err(TraceError::Io)?;
+        let probe = root.join(format!(".write-probe-{}", std::process::id()));
+        std::fs::write(&probe, b"zcomp").map_err(TraceError::Io)?;
+        std::fs::remove_file(&probe).map_err(TraceError::Io)?;
+        Ok(TraceCache { root })
+    }
+
     /// The conventional cache location, `results/traces/`.
     pub fn default_root() -> PathBuf {
         PathBuf::from("results/traces")
@@ -134,21 +157,66 @@ impl TraceCache {
         match TraceReader::new(BufReader::new(file)) {
             Ok(reader) if reader.meta().config_hash == config_hash => Some(reader),
             Ok(reader) => {
-                log_warn!(
-                    "trace cache: {} records config {:#010x}, wanted {:#010x}; treating as miss",
-                    path.display(),
+                let reason = format!(
+                    "config fingerprint mismatch: file records {:#010x}, sweep wanted {:#010x}",
                     reader.meta().config_hash,
                     config_hash
                 );
+                drop(reader);
+                self.quarantine(&path, &reason);
                 None
             }
             Err(e) => {
-                log_warn!(
-                    "trace cache: {} is unreadable ({e}); treating as miss",
-                    path.display()
-                );
+                self.quarantine(&path, &format!("failed verification on read: {e}"));
                 None
             }
+        }
+    }
+
+    /// Quarantines the slot for a trace that failed verification *during
+    /// replay*. The per-chunk CRCs are only checked as the reader
+    /// advances, so corruption deep in the payload surfaces at the caller
+    /// rather than at [`open`](TraceCache::open) — this is how a cell
+    /// runner reports it back. Transient I/O failures must NOT be
+    /// reported here (the bytes on disk may be fine); only deterministic
+    /// codec/verification errors prove the file itself is damaged.
+    pub fn quarantine_replay_failure(&self, key: &TraceKey, config_hash: u32, reason: &str) {
+        let path = self.path_for(key, config_hash);
+        if path.exists() {
+            self.quarantine(&path, &format!("failed verification on replay: {reason}"));
+        }
+    }
+
+    /// Moves a trace that failed verification into `quarantine/` with a
+    /// sidecar reason file, so the caller regenerates it and the rotted
+    /// bytes stay inspectable. Best-effort: if even the move fails (e.g.
+    /// read-only cache), the file is left alone and the open is still a
+    /// miss — corruption never propagates into a replay either way.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        let Some(name) = path.file_name() else {
+            return;
+        };
+        let dir = self.root.join("quarantine");
+        let dest = dir.join(name);
+        let moved = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::rename(path, &dest))
+            .is_ok();
+        if moved {
+            let mut reason_path = dest.clone().into_os_string();
+            reason_path.push(".reason.txt");
+            let _ = std::fs::write(reason_path, format!("{reason}\n"));
+            tracer::instant("replay", "cache.quarantine");
+            tracer::counter("cache.quarantined", 1.0);
+            log_warn!(
+                "trace cache: {} {reason}; quarantined to {} and regenerating",
+                path.display(),
+                dest.display()
+            );
+        } else {
+            log_warn!(
+                "trace cache: {} {reason}; quarantine move failed, treating as miss",
+                path.display()
+            );
         }
     }
 
@@ -230,12 +298,46 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cached_file_degrades_to_miss() {
+    fn corrupt_cached_file_is_quarantined_with_reason() {
         let cache = temp_cache("corrupt");
         let key = TraceKey::new("fig12", "cell");
         std::fs::create_dir_all(cache.root()).unwrap();
-        std::fs::write(cache.path_for(&key, 5), b"not a trace at all").unwrap();
+        let path = cache.path_for(&key, 5);
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        assert!(cache.open(&key, 5).is_none());
+
+        // Self-healing: the bad file moved aside with a reason sidecar,
+        // so the slot is free for regeneration.
+        assert!(!path.exists(), "corrupt file must leave the cache slot");
+        let qdir = cache.root().join("quarantine");
+        let qfile = qdir.join(path.file_name().unwrap());
+        assert!(qfile.exists(), "corrupt file must land in quarantine/");
+        let mut reason = qfile.clone().into_os_string();
+        reason.push(".reason.txt");
+        let reason = std::fs::read_to_string(reason).unwrap();
+        assert!(
+            reason.contains("verification"),
+            "reason file must say why: {reason}"
+        );
+        // A second open is now a plain miss, not a second quarantine.
         assert!(cache.open(&key, 5).is_none());
         let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn open_validated_accepts_fresh_dir_and_rejects_file_parent() {
+        let root = std::env::temp_dir().join(format!("ztrc-val-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = TraceCache::open_validated(&root).expect("fresh dir is fine");
+        assert!(root.is_dir());
+        assert_eq!(cache.root(), root.as_path());
+
+        let blocker = root.join("blocker");
+        std::fs::write(&blocker, b"file").unwrap();
+        assert!(
+            TraceCache::open_validated(blocker.join("sub")).is_err(),
+            "a root under a regular file must be rejected"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -79,19 +79,24 @@ fn sweep_cache_directories_are_byte_identical() {
         4096,
         0.53,
         &SweepOpts::serial().with_cache(&root_a),
-    );
+    )
+    .expect("serial sweep");
     fig12::run_sweep(
         configs,
         4096,
         0.53,
         &SweepOpts::default().with_cache(&root_b).with_threads(4),
-    );
+    )
+    .expect("parallel sweep");
 
+    // Only the trace files: the cache root also holds the supervision
+    // journal directory, which is not part of the byte-identity claim.
     let list = |root: &Path| -> Vec<(String, Vec<u8>)> {
         let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(root)
             .expect("read cache dir")
+            .map(|e| e.expect("dir entry"))
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ztrc"))
             .map(|e| {
-                let e = e.expect("dir entry");
                 (
                     e.file_name().to_string_lossy().into_owned(),
                     std::fs::read(e.path()).expect("read trace"),
