@@ -11,17 +11,28 @@
 //! panicking (or exceed `--deadline-ms`) are quarantined, reported, and
 //! reflected in the exit code (3 = completed with quarantined cells).
 //!
+//! With `--fabric-dir` the sweep joins the crash-safe multi-process lease
+//! fabric: cells are claimed via lease files, heartbeated, reclaimed from
+//! dead workers, and committed through fenced per-worker journals, so any
+//! number of `capture_run` processes (or `--workers N` spawned siblings)
+//! cooperate on one sweep and the merged report stays byte-identical to a
+//! single-worker run. A drained worker (SIGINT/SIGTERM) exits with code 4
+//! and can be resumed by pointing any worker at the same fabric directory.
+//!
 //! ```text
 //! capture_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
 //!             [--refresh] [--resume] [--json PATH] [--attempts N]
-//!             [--deadline-ms MS] [--quiet]
+//!             [--deadline-ms MS] [--fabric-dir DIR] [--worker-id ID]
+//!             [--lease-ttl-ms MS] [--workers N] [--quiet]
 //! ```
 
 use std::time::Instant;
 
 use zcomp::experiments::{fig12, fullnet};
-use zcomp::sweep::SupervisionReport;
-use zcomp_bench::{print_machine, save_json, SweepArgs};
+use zcomp_bench::{
+    print_machine, reap_fabric_workers, report_supervision, save_json, spawn_fabric_workers,
+    sweep_error_exit, SweepArgs,
+};
 use zcomp_dnn::deepbench::all_configs;
 
 /// Sums the cache directory's trace files; errors just mean "unknown".
@@ -38,20 +49,6 @@ fn cache_contents(dir: &str) -> Option<(usize, u64)> {
     Some((files, bytes))
 }
 
-/// Prints the supervision summary and quarantine details, and returns the
-/// process exit code (0 clean, 3 when cells were quarantined).
-fn report_supervision(supervision: &SupervisionReport) -> i32 {
-    println!("supervision: {}", supervision.summary());
-    for failure in &supervision.quarantined {
-        eprintln!("quarantined: {failure}");
-    }
-    if supervision.quarantined.is_empty() {
-        0
-    } else {
-        3
-    }
-}
-
 fn main() {
     let args = SweepArgs::from_env();
     print_machine();
@@ -63,16 +60,17 @@ fn main() {
         opts.threads,
         args.traces,
         if args.refresh { " [refresh]" } else { "" },
-        if args.resume { " [resume]" } else { "" }
+        if args.run.resume { " [resume]" } else { "" }
     );
+    let siblings = spawn_fabric_workers(&args.run);
     let t0 = Instant::now();
     let (cells, supervision) = match args.experiment.as_str() {
         "fig12" => {
             let out = match fig12::run_sweep(&all_configs(), args.scale, 0.53, &opts) {
                 Ok(out) => out,
                 Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
+                    reap_fabric_workers(siblings);
+                    sweep_error_exit(&e);
                 }
             };
             let s = out.result.summary();
@@ -96,8 +94,8 @@ fn main() {
             let out = match fullnet::run_sweep(args.scale, &opts) {
                 Ok(out) => out,
                 Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
+                    reap_fabric_workers(siblings);
+                    sweep_error_exit(&e);
                 }
             };
             let s = out.result.summary();
@@ -117,6 +115,7 @@ fn main() {
             )
         }
     };
+    reap_fabric_workers(siblings);
     let secs = t0.elapsed().as_secs_f64();
     match cache_contents(&args.traces) {
         Some((files, bytes)) => println!(

@@ -3,15 +3,20 @@
 //! injection site, under the strong (separate headers + CRC32) and weak
 //! (interleaved, no checksum) integrity policies. Campaign cells run
 //! under the supervised runtime — a panicking (site, rate) cell is
-//! quarantined and reported (exit 3) instead of aborting the campaign.
+//! quarantined and reported (exit 3) instead of aborting the campaign —
+//! and the shared run flags apply: `--attempts`/`--deadline-ms` set the
+//! supervision policy, and `--fabric-dir` (plus `--workers N`) runs the
+//! campaign on the crash-safe multi-process lease fabric.
 
 use zcomp::experiments::fault_campaign::{
     run_config_supervised, CampaignConfig, FaultCampaignResult,
 };
 use zcomp::report::pct;
-use zcomp::supervise::SuperviseOpts;
-use zcomp::sweep::SupervisionReport;
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp::sweep::SweepOutcome;
+use zcomp_bench::{
+    print_machine, print_table, reap_fabric_workers, report_supervision, spawn_fabric_workers,
+    sweep_error_exit, SupervisedFigArgs,
+};
 
 #[derive(serde::Serialize)]
 struct Output {
@@ -34,33 +39,32 @@ fn print_summary(label: &str, r: &FaultCampaignResult) {
     println!();
 }
 
-fn report_supervision(label: &str, supervision: &SupervisionReport) -> bool {
-    if supervision.quarantined.is_empty() {
-        return false;
-    }
-    eprintln!("supervision ({label}): {}", supervision.summary());
-    for failure in &supervision.quarantined {
-        eprintln!("quarantined: {failure}");
-    }
-    true
-}
-
 fn main() {
-    let args = FigArgs::from_env();
+    let args = SupervisedFigArgs::from_env();
     print_machine();
-    let cfg = CampaignConfig::default_scaled(args.scale);
-    let opts = SuperviseOpts::default();
-    let strong_out = run_config_supervised(&cfg, &opts);
-    let weak_out = run_config_supervised(&cfg.clone().weak_policy(), &opts);
+    let cfg = CampaignConfig::default_scaled(args.fig.scale);
+    let opts = args.sweep_opts();
+    let siblings = spawn_fabric_workers(&args.run);
+    // The two policies share the fabric directory safely: cell keys name
+    // the policy and each campaign's journal fingerprint covers its
+    // whole configuration.
+    let run = |cfg: &CampaignConfig| -> SweepOutcome<FaultCampaignResult> {
+        run_config_supervised(cfg, &opts).unwrap_or_else(|e| {
+            sweep_error_exit(&e);
+        })
+    };
+    let strong_out = run(&cfg);
+    let weak_out = run(&cfg.clone().weak_policy());
+    reap_fabric_workers(siblings);
     let (strong, weak) = (strong_out.result, weak_out.result);
     print_table(&strong.table());
     print_summary("separate headers + CRC32 (strong)", &strong);
     print_table(&weak.table());
     print_summary("interleaved, no checksum (weak)", &weak);
-    args.save_json(&Output { strong, weak });
-    let sick = report_supervision("strong", &strong_out.supervision)
-        | report_supervision("weak", &weak_out.supervision);
-    if sick {
-        std::process::exit(3);
+    args.fig.save_json(&Output { strong, weak });
+    let code =
+        report_supervision(&strong_out.supervision).max(report_supervision(&weak_out.supervision));
+    if code != 0 {
+        std::process::exit(code);
     }
 }

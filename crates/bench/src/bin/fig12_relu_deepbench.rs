@@ -5,20 +5,23 @@
 
 use zcomp::experiments::fig12::{self, Panel};
 use zcomp::report::pct;
-use zcomp::sweep::SweepOpts;
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp_bench::{
+    print_machine, print_table, reap_fabric_workers, report_supervision, spawn_fabric_workers,
+    sweep_error_exit, SupervisedFigArgs,
+};
 use zcomp_dnn::deepbench::{all_configs, Suite};
 
 fn main() {
-    let args = FigArgs::from_env();
+    let args = SupervisedFigArgs::from_env();
     print_machine();
     // Supervised serial sweep (no cache): identical numbers to the plain
-    // runner, but a panicking cell is quarantined instead of fatal.
-    let out = fig12::run_sweep(&all_configs(), args.scale, 0.53, &SweepOpts::serial())
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    // runner, but a panicking cell is quarantined instead of fatal. The
+    // shared run flags apply — `--fabric-dir`/`--workers` put the sweep
+    // on the multi-process lease fabric.
+    let siblings = spawn_fabric_workers(&args.run);
+    let out = fig12::run_sweep(&all_configs(), args.fig.scale, 0.53, &args.sweep_opts())
+        .unwrap_or_else(|e| sweep_error_exit(&e));
+    reap_fabric_workers(siblings);
     let result = out.result;
     for panel in [Panel::CoreTraffic, Panel::DramTraffic, Panel::Runtime] {
         print_table(&result.table(panel));
@@ -61,12 +64,9 @@ fn main() {
         pct(result.zcomp_prefetch.accuracy()),
         pct(result.zcomp_prefetch.coverage())
     );
-    args.save_json(&result);
-    if !out.supervision.quarantined.is_empty() {
-        eprintln!("supervision: {}", out.supervision.summary());
-        for failure in &out.supervision.quarantined {
-            eprintln!("quarantined: {failure}");
-        }
-        std::process::exit(3);
+    args.fig.save_json(&result);
+    let code = report_supervision(&out.supervision);
+    if code != 0 {
+        std::process::exit(code);
     }
 }

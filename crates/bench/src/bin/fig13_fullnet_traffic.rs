@@ -4,17 +4,18 @@
 //! instead of taking the figure down.
 
 use zcomp::report::pct;
-use zcomp::sweep::SweepOpts;
-use zcomp_bench::{print_machine, print_table, FigArgs};
+use zcomp_bench::{
+    print_machine, print_table, reap_fabric_workers, report_supervision, spawn_fabric_workers,
+    sweep_error_exit, SupervisedFigArgs,
+};
 
 fn main() {
-    let args = FigArgs::from_env();
+    let args = SupervisedFigArgs::from_env();
     print_machine();
-    let out = zcomp::experiments::fullnet::run_sweep(args.scale, &SweepOpts::serial())
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let siblings = spawn_fabric_workers(&args.run);
+    let out = zcomp::experiments::fullnet::run_sweep(args.fig.scale, &args.sweep_opts())
+        .unwrap_or_else(|e| sweep_error_exit(&e));
+    reap_fabric_workers(siblings);
     let result = out.result;
     print_table(&result.table_traffic());
     let s = result.summary();
@@ -29,12 +30,9 @@ fn main() {
         pct(s.zcomp_infer_traffic),
         pct(s.avx_infer_traffic)
     );
-    args.save_json(&result);
-    if !out.supervision.quarantined.is_empty() {
-        eprintln!("supervision: {}", out.supervision.summary());
-        for failure in &out.supervision.quarantined {
-            eprintln!("quarantined: {failure}");
-        }
-        std::process::exit(3);
+    args.fig.save_json(&result);
+    let code = report_supervision(&out.supervision);
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -13,21 +13,29 @@
 //!
 //! ```text
 //! replay_run <fig12|fullnet> [--scale N] [--traces DIR] [--threads N]
-//!            [--verify] [--bench PATH] [--resume] [--json PATH] [--quiet]
+//!            [--verify] [--bench PATH] [--resume] [--json PATH]
+//!            [--fabric-dir DIR] [--worker-id ID] [--lease-ttl-ms MS]
+//!            [--workers N] [--quiet]
 //! ```
+//!
+//! With `--fabric-dir` the plain replay sweep joins the multi-process
+//! lease fabric (see `capture_run`); `--verify` and `--bench` stay
+//! single-process.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use zcomp::experiments::{fig12, fullnet};
 use zcomp::sweep::{SweepError, SweepOpts};
-use zcomp_bench::{print_machine, save_json, SweepArgs};
+use zcomp_bench::{
+    print_machine, reap_fabric_workers, save_json, spawn_fabric_workers, sweep_error_exit,
+    SweepArgs,
+};
 use zcomp_dnn::deepbench::all_configs;
 use zcomp_replay::CacheMode;
 
 fn sweep_fail(e: SweepError) -> ! {
-    eprintln!("error: {e}");
-    std::process::exit(1)
+    sweep_error_exit(&e)
 }
 
 /// One timed sweep; returns (cells, quarantined, seconds).
@@ -178,7 +186,9 @@ fn main() {
         "replaying {} (scale {}, {} threads) from {}",
         args.experiment, args.scale, opts.threads, args.traces
     );
+    let siblings = spawn_fabric_workers(&args.run);
     let (cells, quarantined, secs) = timed_sweep(&args, &opts);
+    reap_fabric_workers(siblings);
     println!("replayed {cells} cells in {secs:.2}s ({quarantined} quarantined)");
     if quarantined > 0 {
         std::process::exit(3);

@@ -29,8 +29,8 @@ use zcomp_sim::engine::Machine;
 use zcomp_sim::faults::{FaultConfig, FaultSite};
 
 use crate::report::{fmt_bytes, pct, Table};
-use crate::supervise::{self, CellFailure, CellOutcome, SuperviseOpts};
-use crate::sweep::{SupervisionReport, SweepOutcome};
+use crate::supervise::{CellFailure, CellOutcome};
+use crate::sweep::{run_cells, SweepError, SweepOpts, SweepOutcome};
 
 /// One campaign's configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -346,70 +346,79 @@ pub fn run_config(cfg: &CampaignConfig) -> FaultCampaignResult {
     }
 }
 
-/// [`run_config`] with every (site, rate) cell under the supervised-cell
-/// runtime: a panicking or hung cell is retried per `supervise` and, if
-/// it keeps failing, quarantined into the result's `quarantined` list
-/// with a zeroed placeholder cell — the rest of the campaign completes.
+/// [`run_config`] with every (site, rate) cell routed through the
+/// supervised sweep runtime ([`run_cells`]): a panicking or hung cell is
+/// retried per `opts.supervise` and, if it keeps failing, quarantined
+/// into the result's `quarantined` list with a zeroed placeholder cell —
+/// the rest of the campaign completes. With a cache root the cells are
+/// journalled for `opts.resume`, and with `opts.fabric` the campaign
+/// joins a multi-process lease fabric like the figure sweeps.
 ///
 /// The clean control run stays *unsupervised*: if the baseline itself
 /// cannot run there is nothing meaningful to salvage, so that panic
 /// still propagates.
 pub fn run_config_supervised(
     cfg: &CampaignConfig,
-    supervise_opts: &SuperviseOpts,
-) -> SweepOutcome<FaultCampaignResult> {
+    opts: &SweepOpts,
+) -> Result<SweepOutcome<FaultCampaignResult>, SweepError> {
     let _span = zcomp_trace::tracer::span("experiment", "fault_campaign");
     assert!(cfg.trials > 0, "campaign needs at least one trial");
     assert_eq!(cfg.elements % 16, 0, "elements must be whole vectors");
     let data = std::sync::Arc::new(layer_data(cfg));
-    let opts = cfg.degrade_opts();
+    let degrade = cfg.degrade_opts();
 
     let clean = {
         let mut machine = machine();
-        run_trial(&mut machine, &data, &opts)
+        run_trial(&mut machine, &data, &degrade)
     };
 
-    let items = cfg.sites.len() * cfg.rates.len();
-    let mut report = SupervisionReport {
-        cells: items,
-        ..SupervisionReport::default()
-    };
-    let mut cells = Vec::with_capacity(items);
-    for (index, (&site, &rate)) in cfg
+    let pairs: Vec<(FaultSite, f64)> = cfg
         .sites
         .iter()
-        .flat_map(|s| cfg.rates.iter().map(move |r| (s, r)))
-        .enumerate()
-    {
-        let key = format!("site={site:?};rate={rate:e}");
-        let outcome = supervise::run_cell(supervise_opts, index, &key, || {
-            // Self-contained job: campaign cells share the (immutable)
-            // layer data via Arc so a watchdog-abandoned attempt can
-            // safely outlive this frame.
-            let cfg = cfg.clone();
-            let data = std::sync::Arc::clone(&data);
-            let clean = clean.clone();
-            Box::new(move || run_cell(&cfg, site, rate, &data, &opts, &clean))
-        });
-        report.retries += outcome.retries();
-        report.executed += 1;
+        .flat_map(|&s| cfg.rates.iter().map(move |&r| (s, r)))
+        .collect();
+    let items = pairs.len();
+    // The fingerprint covers the whole campaign configuration, and the
+    // cell key names the integrity policy: cells journalled by the
+    // strong campaign can never be resumed into the weak one even when
+    // both share a fabric directory or cache root.
+    let fingerprint = campaign_fingerprint(cfg);
+    let key_of = |idx: usize| {
+        let (site, rate) = pairs[idx];
+        format!(
+            "mode={:?};checksum={};site={site:?};rate={rate:e}",
+            cfg.mode, cfg.checksum
+        )
+    };
+    let make_job = |idx: usize| -> Box<dyn FnOnce() -> CampaignCell + Send + 'static> {
+        // Self-contained job: campaign cells share the (immutable)
+        // layer data via Arc so a watchdog-abandoned attempt can
+        // safely outlive this frame.
+        let (site, rate) = pairs[idx];
+        let cfg = cfg.clone();
+        let data = std::sync::Arc::clone(&data);
+        let clean = clean.clone();
+        Box::new(move || run_cell(&cfg, site, rate, &data, &degrade, &clean))
+    };
+    let run = run_cells("fault_campaign", items, fingerprint, opts, key_of, make_job)?;
+
+    let mut cells = Vec::with_capacity(items);
+    for (idx, outcome) in run.outcomes.iter().enumerate() {
+        let (site, rate) = pairs[idx];
         match outcome {
-            CellOutcome::Completed { value, .. } => cells.push(value),
-            CellOutcome::Quarantined(failure) => {
-                report.quarantined.push(failure);
-                cells.push(CampaignCell {
-                    site,
-                    rate,
-                    trials: 0,
-                    injected: 0,
-                    stream_hits: 0,
-                    detections: 0,
-                    outcomes: OutcomeCounts::default(),
-                    mean_extra_bytes: 0.0,
-                    load_cycle_overhead: 0.0,
-                    desync: DesyncDistribution::default(),
-                });
-            }
+            CellOutcome::Completed { value, .. } => cells.push(value.clone()),
+            CellOutcome::Quarantined(_) => cells.push(CampaignCell {
+                site,
+                rate,
+                trials: 0,
+                injected: 0,
+                stream_hits: 0,
+                detections: 0,
+                outcomes: OutcomeCounts::default(),
+                mean_extra_bytes: 0.0,
+                load_cycle_overhead: 0.0,
+                desync: DesyncDistribution::default(),
+            }),
         }
     }
     let result = FaultCampaignResult {
@@ -417,12 +426,19 @@ pub fn run_config_supervised(
         clean_load_cycles: clean.load_cycles,
         clean_store_cycles: clean.store_cycles,
         cells,
-        quarantined: report.quarantined.clone(),
+        quarantined: run.report.quarantined.clone(),
     };
-    SweepOutcome {
+    Ok(SweepOutcome {
         result,
-        supervision: report,
-    }
+        supervision: run.report,
+    })
+}
+
+/// CRC32 of the serialized campaign configuration — the journal
+/// fingerprint that keeps differently-configured campaigns apart.
+fn campaign_fingerprint(cfg: &CampaignConfig) -> u32 {
+    let text = serde_json::to_string(cfg).expect("campaign config serializes");
+    zcomp_isa::integrity::crc32(text.as_bytes())
 }
 
 fn machine() -> Machine {
@@ -581,7 +597,7 @@ mod tests {
     fn supervised_campaign_matches_unsupervised() {
         let cfg = quick_config();
         let plain = run_config(&cfg);
-        let supervised = run_config_supervised(&cfg, &SuperviseOpts::default());
+        let supervised = run_config_supervised(&cfg, &SweepOpts::serial()).unwrap();
         assert_eq!(plain, supervised.result);
         assert!(supervised.result.quarantined.is_empty());
         assert_eq!(
@@ -589,6 +605,15 @@ mod tests {
             cfg.sites.len() * cfg.rates.len()
         );
         assert_eq!(supervised.supervision.retries, 0);
+    }
+
+    #[test]
+    fn strong_and_weak_campaigns_never_share_a_fingerprint() {
+        let cfg = quick_config();
+        assert_ne!(
+            campaign_fingerprint(&cfg),
+            campaign_fingerprint(&cfg.clone().weak_policy())
+        );
     }
 
     #[test]

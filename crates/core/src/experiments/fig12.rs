@@ -552,6 +552,12 @@ pub fn run_sweep(
         registry.incr("fig12.retries", run.report.retries);
         registry.incr("fig12.resume_skips", run.report.resume_skips as u64);
         registry.incr("fig12.quarantined", run.report.quarantined.len() as u64);
+        if let Some(fabric) = &run.report.fabric {
+            registry.incr("fabric.claims", fabric.claims);
+            registry.incr("fabric.reclaims", fabric.reclaims);
+            registry.incr("fabric.fenced_rejections", fabric.fenced_rejections);
+            registry.incr("fabric.drains", fabric.drains);
+        }
     }
     let result = Fig12Result {
         rows,

@@ -446,6 +446,12 @@ pub fn run_sweep(
         registry.incr("fullnet.retries", run.report.retries);
         registry.incr("fullnet.resume_skips", run.report.resume_skips as u64);
         registry.incr("fullnet.quarantined", run.report.quarantined.len() as u64);
+        if let Some(fabric) = &run.report.fabric {
+            registry.incr("fabric.claims", fabric.claims);
+            registry.incr("fabric.reclaims", fabric.reclaims);
+            registry.incr("fabric.fenced_rejections", fabric.fenced_rejections);
+            registry.incr("fabric.drains", fabric.drains);
+        }
     }
     let result = FullNetResult {
         rows,

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod experiments;
+pub mod fabric;
 pub mod report;
 pub mod supervise;
 pub mod sweep;

@@ -335,8 +335,9 @@ where
 // ---------------------------------------------------------------------------
 
 /// One journal line: a completed cell keyed by its descriptor and the
-/// machine-config fingerprint, carrying the serialized cell result and a
-/// CRC32 over all three.
+/// machine-config fingerprint, carrying the serialized cell result, the
+/// committing worker's identity and fencing token (both zero-valued for
+/// plain single-process sweeps), and a CRC32 over all of them.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalRecord {
     /// Cell descriptor (the trace-cache cell key).
@@ -345,36 +346,80 @@ pub struct JournalRecord {
     pub fingerprint: u32,
     /// The cell result as a JSON document.
     pub payload: String,
-    /// CRC32 over `cell ‖ 0 ‖ fingerprint_le ‖ 0 ‖ payload`.
+    /// Id of the worker that committed the record (`""` outside fabric
+    /// runs).
+    pub worker: String,
+    /// Fencing token the committing worker held for this cell (`0`
+    /// outside fabric runs). The fabric merge keeps the highest token per
+    /// cell, so a zombie's stale duplicate never wins.
+    pub token: u64,
+    /// CRC32 over
+    /// `cell ‖ 0 ‖ fingerprint_le ‖ 0 ‖ worker ‖ 0 ‖ token_le ‖ 0 ‖ payload`.
     pub crc: u32,
 }
 
 impl JournalRecord {
-    fn compute_crc(cell: &str, fingerprint: u32, payload: &str) -> u32 {
-        let mut bytes = Vec::with_capacity(cell.len() + payload.len() + 6);
+    fn compute_crc(cell: &str, fingerprint: u32, worker: &str, token: u64, payload: &str) -> u32 {
+        let mut bytes = Vec::with_capacity(cell.len() + worker.len() + payload.len() + 16);
         bytes.extend_from_slice(cell.as_bytes());
         bytes.push(0);
         bytes.extend_from_slice(&fingerprint.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(worker.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&token.to_le_bytes());
         bytes.push(0);
         bytes.extend_from_slice(payload.as_bytes());
         crc32(&bytes)
     }
 
-    /// Builds a record with its CRC filled in.
+    /// Builds a plain (unfenced) record with its CRC filled in.
     pub fn new(cell: String, fingerprint: u32, payload: String) -> JournalRecord {
-        let crc = JournalRecord::compute_crc(&cell, fingerprint, &payload);
+        JournalRecord::new_fenced(cell, fingerprint, payload, String::new(), 0)
+    }
+
+    /// Builds a fenced record — a fabric worker's commit stamped with its
+    /// identity and fencing token — with its CRC filled in.
+    pub fn new_fenced(
+        cell: String,
+        fingerprint: u32,
+        payload: String,
+        worker: String,
+        token: u64,
+    ) -> JournalRecord {
+        let crc = JournalRecord::compute_crc(&cell, fingerprint, &worker, token, &payload);
         JournalRecord {
             cell,
             fingerprint,
             payload,
+            worker,
+            token,
             crc,
         }
     }
 
     /// Whether the stored CRC matches the record contents.
     pub fn verify(&self) -> bool {
-        JournalRecord::compute_crc(&self.cell, self.fingerprint, &self.payload) == self.crc
+        JournalRecord::compute_crc(
+            &self.cell,
+            self.fingerprint,
+            &self.worker,
+            self.token,
+            &self.payload,
+        ) == self.crc
     }
+}
+
+/// The verified value held for one journalled cell: the payload plus the
+/// provenance (worker, fencing token) it was committed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The cell result as a JSON document.
+    pub payload: String,
+    /// Committing worker id (`""` outside fabric runs).
+    pub worker: String,
+    /// Fencing token of the commit (`0` outside fabric runs).
+    pub token: u64,
 }
 
 /// Crash-safe sweep-completion journal: one JSONL file of
@@ -386,7 +431,7 @@ impl JournalRecord {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    records: BTreeMap<(String, u32), String>,
+    records: BTreeMap<(String, u32), JournalEntry>,
 }
 
 impl Journal {
@@ -410,7 +455,14 @@ impl Journal {
             }
             match serde_json::from_str::<JournalRecord>(line) {
                 Ok(rec) if rec.verify() => {
-                    records.insert((rec.cell, rec.fingerprint), rec.payload);
+                    records.insert(
+                        (rec.cell, rec.fingerprint),
+                        JournalEntry {
+                            payload: rec.payload,
+                            worker: rec.worker,
+                            token: rec.token,
+                        },
+                    );
                 }
                 _ => dropped += 1,
             }
@@ -457,15 +509,39 @@ impl Journal {
 
     /// The payload journalled for `(cell, fingerprint)`, if any.
     pub fn lookup(&self, cell: &str, fingerprint: u32) -> Option<&str> {
-        self.records
-            .get(&(cell.to_string(), fingerprint))
-            .map(String::as_str)
+        self.entry(cell, fingerprint).map(|e| e.payload.as_str())
+    }
+
+    /// The full entry (payload plus worker/token provenance) journalled
+    /// for `(cell, fingerprint)`, if any.
+    pub fn entry(&self, cell: &str, fingerprint: u32) -> Option<&JournalEntry> {
+        self.records.get(&(cell.to_string(), fingerprint))
     }
 
     /// Records a completed cell and persists the journal atomically
     /// (write everything to `<path>.tmp`, rename over `<path>`).
     pub fn commit(&mut self, cell: String, fingerprint: u32, payload: String) -> io::Result<()> {
-        self.records.insert((cell, fingerprint), payload);
+        self.commit_fenced(cell, fingerprint, payload, String::new(), 0)
+    }
+
+    /// Records a completed cell with fabric provenance (worker id and
+    /// fencing token) and persists the journal atomically.
+    pub fn commit_fenced(
+        &mut self,
+        cell: String,
+        fingerprint: u32,
+        payload: String,
+        worker: String,
+        token: u64,
+    ) -> io::Result<()> {
+        self.records.insert(
+            (cell, fingerprint),
+            JournalEntry {
+                payload,
+                worker,
+                token,
+            },
+        );
         self.persist()
     }
 
@@ -476,8 +552,14 @@ impl Journal {
             }
         }
         let mut text = String::new();
-        for ((cell, fingerprint), payload) in &self.records {
-            let rec = JournalRecord::new(cell.clone(), *fingerprint, payload.clone());
+        for ((cell, fingerprint), entry) in &self.records {
+            let rec = JournalRecord::new_fenced(
+                cell.clone(),
+                *fingerprint,
+                entry.payload.clone(),
+                entry.worker.clone(),
+                entry.token,
+            );
             text.push_str(&serde_json::to_string(&rec).map_err(io::Error::other)?);
             text.push('\n');
         }
@@ -641,6 +723,8 @@ mod tests {
             cell: "forged".into(),
             fingerprint: 1,
             payload: "{}".into(),
+            worker: String::new(),
+            token: 0,
             crc: 0xDEAD_BEEF,
         };
         text.push_str(&serde_json::to_string(&forged).unwrap());
@@ -653,6 +737,39 @@ mod tests {
         assert!(j.lookup("good", 1).is_some());
         assert!(j.lookup("forged", 1).is_none());
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fenced_commits_round_trip_worker_and_token() {
+        let path = std::env::temp_dir().join(format!("zj-fenced-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let mut j = Journal::load(&path).unwrap();
+        j.commit_fenced("cell".into(), 3, "{\"x\":1}".into(), "w-a".into(), 2)
+            .unwrap();
+        let j = Journal::load(&path).unwrap();
+        let entry = j.entry("cell", 3).expect("fenced entry resumes");
+        assert_eq!(entry.payload, "{\"x\":1}");
+        assert_eq!(entry.worker, "w-a");
+        assert_eq!(entry.token, 2);
+        // Plain commits carry the zero provenance.
+        let mut j = Journal::load(&path).unwrap();
+        j.commit("plain".into(), 3, "{}".into()).unwrap();
+        let j = Journal::load(&path).unwrap();
+        let plain = j.entry("plain", 3).unwrap();
+        assert_eq!((plain.worker.as_str(), plain.token), ("", 0));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_token_fails_verification() {
+        let rec = JournalRecord::new_fenced("c".into(), 1, "{}".into(), "w".into(), 5);
+        assert!(rec.verify());
+        let mut bad = rec.clone();
+        bad.token = 6;
+        assert!(!bad.verify(), "a forged fencing token must not verify");
+        let mut bad = rec;
+        bad.worker = "z".into();
+        assert!(!bad.verify(), "a forged worker id must not verify");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use zcomp_replay::{CacheMode, TraceCache, TraceError};
 use zcomp_trace::log_warn;
 
+use crate::fabric::{FabricOpts, FabricReport};
 use crate::supervise::{CellFailure, CellOutcome, Journal, SuperviseOpts};
 
 /// A sweep-level failure detected *before* any cell runs (as opposed to
@@ -48,6 +49,23 @@ pub enum SweepError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The fabric directory (leases, per-worker journals) cannot be
+    /// created or written.
+    Fabric {
+        /// The offending fabric directory.
+        dir: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A graceful drain (SIGTERM/SIGINT) stopped this fabric worker
+    /// before every cell was journalled. Completed cells are safely
+    /// committed; re-running the same fabric resumes from them.
+    FabricDrained {
+        /// Cells journalled across the whole fabric at drain time.
+        completed: usize,
+        /// Total cells in the sweep.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -65,6 +83,20 @@ impl std::fmt::Display for SweepError {
                     path.display()
                 )
             }
+            SweepError::Fabric { dir, source } => {
+                write!(
+                    f,
+                    "fabric directory {} is unusable: {source}",
+                    dir.display()
+                )
+            }
+            SweepError::FabricDrained { completed, total } => {
+                write!(
+                    f,
+                    "fabric worker drained after {completed}/{total} cells; \
+                     re-run with the same fabric dir to resume"
+                )
+            }
         }
     }
 }
@@ -74,6 +106,8 @@ impl std::error::Error for SweepError {
         match self {
             SweepError::CacheRoot { source, .. } => Some(source),
             SweepError::Journal { source, .. } => Some(source),
+            SweepError::Fabric { source, .. } => Some(source),
+            SweepError::FabricDrained { .. } => None,
         }
     }
 }
@@ -94,6 +128,11 @@ pub struct SweepOpts {
     /// Skip cells recorded as complete in the journal instead of starting
     /// over. Requires `cache_root`; ignored without one.
     pub resume: bool,
+    /// Multi-process fabric participation: when set, [`run_cells`] joins
+    /// the lease-based work queue under
+    /// [`FabricOpts::dir`](crate::fabric::FabricOpts) as one cooperating
+    /// worker instead of executing every cell itself.
+    pub fabric: Option<FabricOpts>,
 }
 
 impl Default for SweepOpts {
@@ -104,6 +143,7 @@ impl Default for SweepOpts {
             cache_mode: CacheMode::Auto,
             supervise: SuperviseOpts::default(),
             resume: false,
+            fabric: None,
         }
     }
 }
@@ -148,15 +188,26 @@ impl SweepOpts {
         self
     }
 
+    /// Joins the multi-process fabric rooted at `fabric.dir`.
+    pub fn with_fabric(mut self, fabric: FabricOpts) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
     /// The cache handle, if caching is enabled. The root is validated
     /// (created and write-probed) here, so an unusable `--traces` path is
     /// a typed [`SweepError::CacheRoot`] at sweep start rather than a
-    /// per-cell failure mid-run.
+    /// per-cell failure mid-run. In fabric runs the handle is stamped
+    /// with the worker id so quarantine sidecars record who produced
+    /// them.
     pub(crate) fn cache(&self) -> Result<Option<TraceCache>, SweepError> {
         match &self.cache_root {
             None => Ok(None),
             Some(root) => TraceCache::open_validated(root)
-                .map(Some)
+                .map(|cache| match &self.fabric {
+                    Some(fabric) => Some(cache.with_worker(&fabric.worker)),
+                    None => Some(cache),
+                })
                 .map_err(|source| SweepError::CacheRoot {
                     root: root.clone(),
                     source,
@@ -181,19 +232,27 @@ pub struct SupervisionReport {
     pub retries: u64,
     /// Cells that exhausted their attempt budget, in index order.
     pub quarantined: Vec<CellFailure>,
+    /// What this process observed as a fabric worker (`None` outside
+    /// fabric runs).
+    pub fabric: Option<FabricReport>,
 }
 
 impl SupervisionReport {
     /// One-line human summary (for binaries' stderr).
     pub fn summary(&self) -> String {
-        format!(
+        let mut text = format!(
             "{} cells: {} executed, {} resumed, {} retries, {} quarantined",
             self.cells,
             self.executed,
             self.resume_skips,
             self.retries,
             self.quarantined.len()
-        )
+        );
+        if let Some(fabric) = &self.fabric {
+            text.push_str("; ");
+            text.push_str(&fabric.summary());
+        }
+        text
     }
 }
 
@@ -242,6 +301,12 @@ where
     K: Fn(usize) -> String + Sync,
     J: Fn(usize) -> Box<dyn FnOnce() -> T + Send + 'static> + Sync,
 {
+    // Fabric runs hand the whole sweep to the lease-based multi-process
+    // executor; everything below is the single-process path.
+    if opts.fabric.is_some() {
+        return crate::fabric::run_fabric(experiment, items, fingerprint, opts, key_of, make_job);
+    }
+
     // Validate the cache root up front even though the caller holds its
     // own handle — a bad root must fail here, not mid-sweep.
     let journal: Option<Mutex<Journal>> = match &opts.cache_root {

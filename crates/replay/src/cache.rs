@@ -20,11 +20,15 @@
 //! The cache is also *self-healing*: a file that fails verification on
 //! read (CRC, version, or config-fingerprint mismatch) is moved into a
 //! `quarantine/` subdirectory next to a `<name>.reason.txt` explaining
-//! why, so the next capture regenerates it transparently and the rotted
-//! bytes stay available for post-mortem instead of being silently
-//! replayed or clobbered. Transient I/O errors (permissions, disk
-//! trouble) leave the file in place — only *proven* corruption is
-//! quarantined.
+//! why (and naming the worker that hit it), so the next capture
+//! regenerates it transparently and the rotted bytes stay available for
+//! post-mortem instead of being silently replayed or clobbered. Each
+//! cache slot keeps at most [`QUARANTINE_SLOTS`] quarantined copies —
+//! a repeat offender with the *same* failure reason re-uses its slot,
+//! and once all slots are full the oldest is recycled — so a flaky disk
+//! cannot grow `quarantine/` without bound. Transient I/O errors
+//! (permissions, disk trouble) leave the file in place — only *proven*
+//! corruption is quarantined.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -90,16 +94,33 @@ fn sanitize(s: &str) -> String {
         .collect()
 }
 
+/// Retained quarantined copies per cache slot: enough history for a
+/// post-mortem, bounded so repeated corruption cannot fill the disk.
+pub const QUARANTINE_SLOTS: usize = 3;
+
 /// A directory of content-addressed `.ztrc` files.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     root: PathBuf,
+    /// Id stamped into quarantine sidecars (a fabric worker id, or the
+    /// pid when unset) so multi-process sweeps record *who* hit the
+    /// corruption.
+    worker: Option<String>,
 }
 
 impl TraceCache {
     /// Opens (lazily — no I/O happens here) a cache rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        TraceCache { root: root.into() }
+        TraceCache {
+            root: root.into(),
+            worker: None,
+        }
+    }
+
+    /// Stamps quarantine sidecars with `worker` instead of the pid.
+    pub fn with_worker(mut self, worker: impl Into<String>) -> Self {
+        self.worker = Some(worker.into());
+        self
     }
 
     /// Opens a cache rooted at `root` and *validates* the root: creates
@@ -113,7 +134,7 @@ impl TraceCache {
         let probe = root.join(format!(".write-probe-{}", std::process::id()));
         std::fs::write(&probe, b"zcomp").map_err(TraceError::Io)?;
         std::fs::remove_file(&probe).map_err(TraceError::Io)?;
-        Ok(TraceCache { root })
+        Ok(TraceCache { root, worker: None })
     }
 
     /// The conventional cache location, `results/traces/`.
@@ -192,19 +213,37 @@ impl TraceCache {
     /// bytes stay inspectable. Best-effort: if even the move fails (e.g.
     /// read-only cache), the file is left alone and the open is still a
     /// miss — corruption never propagates into a replay either way.
+    ///
+    /// Retention is bounded per cache slot: of the
+    /// [`QUARANTINE_SLOTS`] history slots a repeat failure with the same
+    /// reason re-uses its existing slot (deduping the sidecar), a new
+    /// reason takes the first free slot, and when all are taken the
+    /// oldest is recycled.
     fn quarantine(&self, path: &Path, reason: &str) {
-        let Some(name) = path.file_name() else {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             return;
         };
+        let stem = name.strip_suffix(".ztrc").unwrap_or(name);
         let dir = self.root.join("quarantine");
-        let dest = dir.join(name);
-        let moved = std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::rename(path, &dest))
-            .is_ok();
-        if moved {
+        if std::fs::create_dir_all(&dir).is_err() {
+            log_warn!(
+                "trace cache: {} {reason}; quarantine dir unavailable, treating as miss",
+                path.display()
+            );
+            return;
+        }
+        let dest = dir.join(format!(
+            "{stem}.{}.ztrc",
+            self.quarantine_slot(&dir, stem, reason)
+        ));
+        if std::fs::rename(path, &dest).is_ok() {
             let mut reason_path = dest.clone().into_os_string();
             reason_path.push(".reason.txt");
-            let _ = std::fs::write(reason_path, format!("{reason}\n"));
+            let worker = match &self.worker {
+                Some(worker) => worker.clone(),
+                None => format!("pid:{}", std::process::id()),
+            };
+            let _ = std::fs::write(reason_path, format!("{reason}\nworker: {worker}\n"));
             tracer::instant("replay", "cache.quarantine");
             tracer::counter("cache.quarantined", 1.0);
             log_warn!(
@@ -218,6 +257,38 @@ impl TraceCache {
                 path.display()
             );
         }
+    }
+
+    /// Picks the history slot a quarantined copy of `stem` lands in:
+    /// the slot already holding this failure reason, else the first free
+    /// slot, else the oldest (recycled).
+    fn quarantine_slot(&self, dir: &Path, stem: &str, reason: &str) -> usize {
+        let reason_line = reason.lines().next().unwrap_or(reason);
+        let mut free: Option<usize> = None;
+        let mut oldest: Option<(std::time::SystemTime, usize)> = None;
+        for slot in 0..QUARANTINE_SLOTS {
+            let file = dir.join(format!("{stem}.{slot}.ztrc"));
+            let Ok(meta) = std::fs::metadata(&file) else {
+                if free.is_none() {
+                    free = Some(slot);
+                }
+                continue;
+            };
+            let mut sidecar = file.into_os_string();
+            sidecar.push(".reason.txt");
+            if let Ok(text) = std::fs::read_to_string(sidecar) {
+                if text.lines().next() == Some(reason_line) {
+                    // Same failure again: re-use the slot instead of
+                    // burning another one on a duplicate sidecar.
+                    return slot;
+                }
+            }
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            if oldest.as_ref().is_none_or(|(t, _)| mtime < *t) {
+                oldest = Some((mtime, slot));
+            }
+        }
+        free.or(oldest.map(|(_, slot)| slot)).unwrap_or(0)
     }
 
     /// Starts capturing a trace for `key`; the file appears in the cache
@@ -310,7 +381,9 @@ mod tests {
         // so the slot is free for regeneration.
         assert!(!path.exists(), "corrupt file must leave the cache slot");
         let qdir = cache.root().join("quarantine");
-        let qfile = qdir.join(path.file_name().unwrap());
+        let stem = path.file_name().unwrap().to_str().unwrap();
+        let stem = stem.strip_suffix(".ztrc").unwrap();
+        let qfile = qdir.join(format!("{stem}.0.ztrc"));
         assert!(qfile.exists(), "corrupt file must land in quarantine/");
         let mut reason = qfile.clone().into_os_string();
         reason.push(".reason.txt");
@@ -319,8 +392,58 @@ mod tests {
             reason.contains("verification"),
             "reason file must say why: {reason}"
         );
+        assert!(
+            reason.contains(&format!("worker: pid:{}", std::process::id())),
+            "sidecar must record who quarantined: {reason}"
+        );
         // A second open is now a plain miss, not a second quarantine.
         assert!(cache.open(&key, 5).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn repeat_quarantines_dedupe_and_cap_history() {
+        let cache = temp_cache("qcap").with_worker("w-test");
+        let key = TraceKey::new("fig12", "cell");
+        std::fs::create_dir_all(cache.root()).unwrap();
+        let path = cache.path_for(&key, 5);
+        let stem = path.file_name().unwrap().to_str().unwrap();
+        let stem = stem.strip_suffix(".ztrc").unwrap().to_string();
+        let qdir = cache.root().join("quarantine");
+
+        // The same failure reason over and over re-uses one slot.
+        for round in 0..4 {
+            std::fs::write(&path, format!("garbage {round}")).unwrap();
+            assert!(cache.open(&key, 5).is_none());
+        }
+        let count = |dir: &Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".ztrc"))
+                .count()
+        };
+        assert_eq!(count(&qdir), 1, "identical reasons must dedupe to one slot");
+        let slot0 = qdir.join(format!("{stem}.0.ztrc"));
+        assert_eq!(std::fs::read(&slot0).unwrap(), b"garbage 3", "latest copy");
+        let mut sidecar = slot0.into_os_string();
+        sidecar.push(".reason.txt");
+        let text = std::fs::read_to_string(sidecar).unwrap();
+        assert!(
+            text.contains("worker: w-test"),
+            "worker id recorded: {text}"
+        );
+
+        // Distinct reasons take distinct slots, capped at QUARANTINE_SLOTS.
+        for round in 0..5 {
+            std::fs::write(&path, format!("different {round}")).unwrap();
+            cache.quarantine_replay_failure(&key, 5, &format!("reason #{round}"));
+        }
+        assert_eq!(
+            count(&qdir),
+            QUARANTINE_SLOTS,
+            "quarantine history must stay capped per cell"
+        );
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
