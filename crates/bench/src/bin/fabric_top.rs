@@ -1,0 +1,203 @@
+//! Live fleet dashboard over a sweep-fabric directory.
+//!
+//! Tails the per-worker event streams, journals, leases and tombstones
+//! that fabric workers leave under `--fabric-dir` (see
+//! [`zcomp::fleet`]) — strictly read-only, so it can run alongside the
+//! workers it is watching:
+//!
+//! ```text
+//! fabric_top <fabric-dir> [--experiment NAME] [--interval-ms MS]
+//!            [--once] [--json]
+//! ```
+//!
+//! By default the terminal view refreshes every `--interval-ms` (1000)
+//! until every scanned experiment is complete. `--once` renders a single
+//! snapshot and exits; with `--json` the snapshot is the raw
+//! [`zcomp::fleet::FleetStatus`] document instead — the mode CI and
+//! scripts consume. Workers are flagged `STALE` once their last event is
+//! older than their own lease TTL (a live worker heartbeats every
+//! quarter TTL) and `killed?` when their stream ends in a torn write.
+//!
+//! Exit codes: 0 once the fleet is complete (or on any `--once`
+//! snapshot), 2 on usage errors, 1 when the fabric dir cannot be read.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use zcomp::fleet::{self, ExperimentStatus, FleetStatus, WorkerStatus};
+
+struct Args {
+    dir: PathBuf,
+    experiment: Option<String>,
+    interval: Duration,
+    once: bool,
+    json: bool,
+}
+
+const USAGE: &str =
+    "usage: fabric_top <fabric-dir> [--experiment NAME] [--interval-ms MS] [--once] [--json]";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg} ({USAGE})");
+    std::process::exit(2)
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut dir = None;
+    let mut experiment = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" => {
+                experiment = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--experiment needs a name")),
+                );
+            }
+            "--interval-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--interval-ms needs a value"));
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    usage_exit(&format!("--interval-ms needs an integer, got `{v}`"))
+                });
+                interval = Duration::from_millis(ms.max(50));
+            }
+            "--once" => once = true,
+            "--json" => json = true,
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => usage_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    Args {
+        dir: dir.unwrap_or_else(|| usage_exit("missing fabric directory")),
+        experiment,
+        interval,
+        once,
+        json,
+    }
+}
+
+fn scan(args: &Args) -> FleetStatus {
+    let result = match &args.experiment {
+        Some(name) => fleet::scan_experiment(&args.dir, name).map(|exp| FleetStatus {
+            root: args.dir.display().to_string(),
+            scanned_epoch_us: 0,
+            experiments: vec![exp],
+        }),
+        None => fleet::scan(&args.dir),
+    };
+    match result {
+        Ok(status) => status,
+        Err(e) => {
+            eprintln!("fabric_top: cannot scan {}: {e}", args.dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn worker_state(w: &WorkerStatus) -> String {
+    if w.done {
+        return if w.drained { "drained" } else { "done" }.to_string();
+    }
+    if w.truncated {
+        return "killed?".to_string();
+    }
+    match w.last_event_age_ms {
+        Some(age) if w.lease_ttl_ms > 0 && age > w.lease_ttl_ms => format!("STALE {age}ms"),
+        Some(age) => format!("live {age}ms"),
+        None => "unknown".to_string(),
+    }
+}
+
+fn render_experiment(exp: &ExperimentStatus) {
+    let cells = if exp.grid_known {
+        format!("{}/{}", exp.done, exp.cells)
+    } else {
+        format!("{} journalled", exp.done)
+    };
+    println!(
+        "experiment {}  cells {cells}  in-flight {}  quarantined {}  tombstones {}+{}",
+        exp.experiment,
+        exp.in_flight,
+        exp.quarantined,
+        exp.expired_tombstones,
+        exp.released_tombstones
+    );
+    if let Some(latency) = &exp.latency {
+        print!(
+            "  cell latency p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+            latency.p50 / 1e3,
+            latency.p95 / 1e3,
+            latency.p99 / 1e3
+        );
+    }
+    if exp.throughput_cps > 0.0 {
+        print!("  throughput {:.2} cells/s", exp.throughput_cps);
+    }
+    match exp.eta_s {
+        Some(eta) => println!("  ETA {eta:.0}s"),
+        None => println!(),
+    }
+    if exp.workers.is_empty() {
+        println!("  (no event streams; run workers with the `events` feature for liveness)");
+        return;
+    }
+    println!(
+        "  {:<18} {:<12} {:>7} {:>8} {:>9} {:>7} {:>8} {:>11}",
+        "worker", "state", "claims", "reclaims", "completed", "fenced", "retries", "quarantined"
+    );
+    for w in &exp.workers {
+        println!(
+            "  {:<18} {:<12} {:>7} {:>8} {:>9} {:>7} {:>8} {:>11}",
+            w.worker,
+            worker_state(w),
+            w.claims,
+            w.reclaims,
+            w.completed,
+            w.fenced,
+            w.retries,
+            w.quarantined
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    loop {
+        let status = scan(&args);
+        if args.json {
+            match serde_json::to_string_pretty(&status) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("fabric_top: cannot serialize status: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            if !args.once {
+                // Clear screen + home, like top(1), so the view refreshes
+                // in place.
+                print!("\x1B[2J\x1B[H");
+            }
+            println!("fabric_top — {}", status.root);
+            if status.experiments.is_empty() {
+                println!("(no fabric experiments found)");
+            }
+            for exp in &status.experiments {
+                render_experiment(exp);
+            }
+        }
+        let complete =
+            !status.experiments.is_empty() && status.experiments.iter().all(|e| e.complete());
+        if args.once || complete {
+            break;
+        }
+        std::thread::sleep(args.interval);
+    }
+}

@@ -1,0 +1,148 @@
+//! Post-sweep fleet report: merged Perfetto timeline + markdown summary.
+//!
+//! After a multi-process fabric sweep ran with the `events` feature, each
+//! worker left a CRC-guarded event stream under
+//! `<fabric-dir>/<experiment>/events/`. This binary merges those streams
+//! into one Chrome `trace_event` timeline — one process per worker,
+//! clocks aligned via each stream's wall-clock epoch anchor, lease
+//! lifecycles as async spans ([`zcomp::fleet::merged_trace`]) — and
+//! writes a per-worker markdown summary table next to it:
+//!
+//! ```text
+//! fleet_report <fabric-dir> [--experiment NAME] [--out-dir DIR] [--quiet]
+//! ```
+//!
+//! Produces, under `--out-dir` (default `results/`):
+//!
+//! * `fleet_trace_<experiment>.json` — merged timeline, loadable in
+//!   Perfetto / `chrome://tracing`;
+//! * `fleet_report.md` — fleet status table ([`zcomp::fleet::markdown`]).
+//!
+//! Every merged trace is self-validated (balanced async spans, sorted
+//! timestamps, one pid per worker) before it is written; validation
+//! failure exits non-zero so CI can use this as a smoke check.
+
+use std::path::PathBuf;
+
+use zcomp::fleet;
+use zcomp_trace::chrome;
+
+struct Args {
+    dir: PathBuf,
+    experiment: Option<String>,
+    out_dir: String,
+    quiet: bool,
+}
+
+const USAGE: &str =
+    "usage: fleet_report <fabric-dir> [--experiment NAME] [--out-dir DIR] [--quiet]";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg} ({USAGE})");
+    std::process::exit(2)
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut dir = None;
+    let mut experiment = None;
+    let mut out_dir = "results".to_string();
+    let mut quiet = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" => {
+                experiment = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--experiment needs a name")),
+                );
+            }
+            "--out-dir" => {
+                out_dir = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--out-dir needs a path"));
+            }
+            "--quiet" => quiet = true,
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => usage_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    Args {
+        dir: dir.unwrap_or_else(|| usage_exit("missing fabric directory")),
+        experiment,
+        out_dir,
+        quiet,
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let status = match fleet::scan(&args.dir) {
+        Ok(status) => status,
+        Err(e) => {
+            eprintln!("fleet_report: cannot scan {}: {e}", args.dir.display());
+            std::process::exit(1);
+        }
+    };
+    let experiments: Vec<String> = status
+        .experiments
+        .iter()
+        .map(|e| e.experiment.clone())
+        .filter(|name| args.experiment.as_ref().is_none_or(|want| want == name))
+        .collect();
+    if experiments.is_empty() {
+        eprintln!(
+            "fleet_report: no matching fabric experiments under {}",
+            args.dir.display()
+        );
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("error: cannot create {}: {e}", args.out_dir);
+        std::process::exit(1);
+    }
+
+    for name in &experiments {
+        let json = match fleet::merged_trace(&args.dir, name) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("fleet_report: cannot merge streams for {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let check = match chrome::validate(&json) {
+            Ok(check) => check,
+            Err(e) => {
+                eprintln!("fleet_report: merged trace for {name} failed validation: {e}");
+                std::process::exit(1);
+            }
+        };
+        let path = format!("{}/fleet_trace_{name}.json", args.out_dir);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if !args.quiet {
+            println!(
+                "{name}: {} workers, {} lease spans, {} counters, {} instants over {} us",
+                check.pids, check.async_spans, check.counters, check.instants, check.max_ts_us
+            );
+            println!("wrote {path}");
+        }
+    }
+
+    let mut status = status;
+    status
+        .experiments
+        .retain(|e| experiments.contains(&e.experiment));
+    let md = fleet::markdown(&status);
+    let md_path = format!("{}/fleet_report.md", args.out_dir);
+    if let Err(e) = std::fs::write(&md_path, &md) {
+        eprintln!("error: cannot write {md_path}: {e}");
+        std::process::exit(1);
+    }
+    if !args.quiet {
+        println!("wrote {md_path}");
+    }
+}

@@ -1,10 +1,11 @@
 //! Runs an experiment under the tracer and writes the trace artifacts.
 //!
 //! ```text
-//! trace_run <fig12|fullnet> [--scale N] [--out DIR]
+//! trace_run <fig12|fullnet> [--scale N] [--out-dir DIR]
 //! ```
 //!
-//! Produces, under `--out` (default `results/`):
+//! Produces, under `--out-dir` (default `results/`; `--out` is accepted
+//! as an alias for compatibility with earlier invocations):
 //!
 //! * `trace_<exp>.json` — Chrome `trace_event` JSON, loadable in
 //!   Perfetto / `chrome://tracing`;
@@ -22,7 +23,7 @@ struct Args {
     out_dir: String,
 }
 
-const USAGE: &str = "usage: trace_run <fig12|fullnet> [--scale N] [--out DIR]";
+const USAGE: &str = "usage: trace_run <fig12|fullnet> [--scale N] [--out-dir DIR]";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg} ({USAGE})");
@@ -47,10 +48,10 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
                     usage_exit("--scale must be >= 1");
                 }
             }
-            "--out" => {
+            "--out-dir" | "--out" => {
                 out_dir = it
                     .next()
-                    .unwrap_or_else(|| usage_exit("--out needs a path"));
+                    .unwrap_or_else(|| usage_exit("--out-dir needs a path"));
             }
             other if experiment.is_none() && !other.starts_with('-') => {
                 if other != "fig12" && other != "fullnet" {

@@ -44,7 +44,9 @@ use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, SystemTime};
 
 use serde::{Deserialize, Serialize};
+use zcomp_trace::events::{self, FleetEvent};
 use zcomp_trace::log_warn;
+use zcomp_trace::metrics::{Histogram, MetricsRegistry};
 
 use crate::supervise::{CellFailure, CellOutcome, FailureReason, Journal, JournalEntry};
 use crate::sweep::{run_sharded, CellsRun, SupervisionReport, SweepError, SweepOpts};
@@ -400,6 +402,30 @@ impl LeaseDir {
         }
     }
 
+    /// All currently-parseable leases with their heartbeat ages, sorted
+    /// by cell. Read-only — fleet status tools tail this alongside the
+    /// event streams without perturbing the claim protocol.
+    pub fn snapshot(&self) -> Vec<(Lease, Duration)> {
+        let mut held = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(stem) = name.strip_suffix(".lease") else {
+                    continue;
+                };
+                let Ok(hash) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                if let LeaseView::Held(lease, age) = self.read(hash) {
+                    held.push((lease, age));
+                }
+            }
+        }
+        held.sort_by(|a, b| a.0.cell.cmp(&b.0.cell));
+        held
+    }
+
     /// Tombstone count by suffix (`expired` / `released`), for tests and
     /// smoke assertions.
     pub fn tombstones(&self, suffix: &str) -> usize {
@@ -484,9 +510,51 @@ fn try_acquire(
 // Heartbeat watchdog
 // ---------------------------------------------------------------------------
 
+/// Live counters of one fabric worker, shared between the executor
+/// threads and the heartbeat thread. The same values become the final
+/// [`FabricReport`] *and* are snapshotted into the event stream with
+/// every heartbeat as a [`zcomp_trace::metrics::MetricsDelta`] — so a
+/// SIGKILLed worker's counts survive to its last beat instead of being
+/// lost with the never-printed report.
+#[derive(Debug, Default)]
+struct FabricCounters {
+    claims: AtomicU64,
+    reclaims: AtomicU64,
+    fenced: AtomicU64,
+    drains: AtomicU64,
+    completed: AtomicU64,
+    duplicates: AtomicU64,
+    retries: AtomicU64,
+    /// Wall time per executed cell, microseconds. Only recorded while an
+    /// event stream is armed.
+    latency_us: Mutex<Histogram>,
+}
+
+impl FabricCounters {
+    /// Current values as a metrics registry — the heartbeat time-series
+    /// snapshot. Counter names match what experiments embed in their
+    /// end-of-run reports (`fabric.*`).
+    fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("fabric.claims", self.claims.load(Ordering::Relaxed));
+        reg.incr("fabric.reclaims", self.reclaims.load(Ordering::Relaxed));
+        reg.incr(
+            "fabric.fenced_rejections",
+            self.fenced.load(Ordering::Relaxed),
+        );
+        reg.incr("fabric.drains", self.drains.load(Ordering::Relaxed));
+        reg.incr("fabric.completed", self.completed.load(Ordering::Relaxed));
+        reg.incr("fabric.retries", self.retries.load(Ordering::Relaxed));
+        let latency = self.latency_us.lock().unwrap_or_else(|p| p.into_inner());
+        reg.merge_histogram("fabric.cell_latency_us", &latency);
+        reg
+    }
+}
+
 /// Background thread renewing every registered lease each quarter-TTL,
 /// so a healthy worker's leases never expire no matter how long a cell
-/// takes.
+/// takes. An optional `on_beat` callback runs once per beat — the event
+/// stream uses it to emit heartbeat records with metrics deltas.
 struct Heartbeat {
     registry: Arc<Mutex<HashMap<u64, Lease>>>,
     stop: Arc<AtomicBool>,
@@ -494,7 +562,11 @@ struct Heartbeat {
 }
 
 impl Heartbeat {
-    fn start(leases: LeaseDir, ttl: Duration) -> Heartbeat {
+    fn start(
+        leases: LeaseDir,
+        ttl: Duration,
+        mut on_beat: Option<Box<dyn FnMut() + Send>>,
+    ) -> Heartbeat {
         let registry: Arc<Mutex<HashMap<u64, Lease>>> = Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let interval = (ttl / 4).max(Duration::from_millis(2));
@@ -518,6 +590,9 @@ impl Heartbeat {
                     };
                     for (hash, lease) in held {
                         leases.renew(hash, &lease);
+                    }
+                    if let Some(beat) = on_beat.as_mut() {
+                        beat();
                     }
                 }
             })
@@ -728,14 +803,44 @@ where
         .collect();
 
     let ttl = fabric.lease_ttl;
-    let heartbeat = Heartbeat::start(leases.clone(), ttl);
-    let claims = AtomicU64::new(0);
-    let reclaims = AtomicU64::new(0);
-    let fenced = AtomicU64::new(0);
-    let drains = AtomicU64::new(0);
-    let completed = AtomicU64::new(0);
-    let duplicates = AtomicU64::new(0);
-    let retries = AtomicU64::new(0);
+    let counters = Arc::new(FabricCounters::default());
+
+    // Arm the per-worker event stream (a no-op refusal when the `events`
+    // feature is off, a warning — never a failure — on I/O trouble:
+    // observability must not kill a sweep).
+    let events_path = dir
+        .join("events")
+        .join(format!("{}.jsonl", sanitize_worker(&worker)));
+    match events::stream_open(&events_path) {
+        Ok(epoch_us) => events::emit(FleetEvent::WorkerStart {
+            worker: worker.clone(),
+            experiment: experiment.to_string(),
+            cells: items as u64,
+            fingerprint,
+            lease_ttl_ms: ttl.as_millis() as u64,
+            epoch_us,
+            version: events::STREAM_VERSION,
+        }),
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => {}
+        Err(e) => log_warn!("fabric: event stream unavailable ({e}); continuing without it"),
+    }
+    let on_beat: Option<Box<dyn FnMut() + Send>> = if events::armed() {
+        let counters = Arc::clone(&counters);
+        let mut prev = MetricsRegistry::new();
+        Some(Box::new(move || {
+            // Emit even when the delta is empty: the beat itself is the
+            // liveness signal readers age against.
+            let cur = counters.registry();
+            events::emit(FleetEvent::Heartbeat {
+                metrics: cur.delta_since(&prev),
+            });
+            prev = cur;
+        }))
+    } else {
+        None
+    };
+
+    let heartbeat = Heartbeat::start(leases.clone(), ttl, on_beat);
     let ran_by_me: Vec<AtomicBool> = (0..items).map(|_| AtomicBool::new(false)).collect();
 
     let mut drained = false;
@@ -744,7 +849,7 @@ where
             drained = true;
             break;
         }
-        let view = merged_view(&dir, &keys, fingerprint, &duplicates)?;
+        let view = merged_view(&dir, &keys, fingerprint, &counters.duplicates)?;
         let todo: Vec<usize> = (0..items).filter(|&i| view[i].is_none()).collect();
         if todo.is_empty() {
             break;
@@ -767,10 +872,18 @@ where
             let Acquire::Won(lease, was_reclaim) = acquire else {
                 return;
             };
-            claims.fetch_add(1, Ordering::Relaxed);
+            counters.claims.fetch_add(1, Ordering::Relaxed);
             zcomp_trace::tracer::counter("fabric.claims", 1.0);
+            if events::armed() {
+                events::emit(FleetEvent::CellClaimed {
+                    index: index as u64,
+                    cell: key.clone(),
+                    token: lease.token,
+                    reclaimed: was_reclaim,
+                });
+            }
             if was_reclaim {
-                reclaims.fetch_add(1, Ordering::Relaxed);
+                counters.reclaims.fetch_add(1, Ordering::Relaxed);
                 zcomp_trace::tracer::instant("sweep", "fabric.reclaim");
                 zcomp_trace::tracer::counter("fabric.reclaims", 1.0);
                 log_warn!(
@@ -782,22 +895,47 @@ where
             if drain_requested() {
                 // Claimed but not yet executed: hand the cell back.
                 leases.release(hash, &lease);
-                drains.fetch_add(1, Ordering::Relaxed);
+                counters.drains.fetch_add(1, Ordering::Relaxed);
+                if events::armed() {
+                    events::emit(FleetEvent::LeaseReleased {
+                        index: index as u64,
+                        cell: key.clone(),
+                        token: lease.token,
+                    });
+                }
                 return;
             }
             heartbeat.register(hash, lease.clone());
+            let cell_start = std::time::Instant::now();
             let outcome =
                 crate::supervise::run_cell(&opts.supervise, index, key, || make_job(index));
-            retries.fetch_add(outcome.retries(), Ordering::Relaxed);
+            let elapsed_us = cell_start.elapsed().as_micros() as u64;
+            counters
+                .retries
+                .fetch_add(outcome.retries(), Ordering::Relaxed);
+            if events::armed() {
+                counters
+                    .latency_us
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .record(elapsed_us as f64);
+            }
             let payload = fabric_payload(index, key, &outcome);
             heartbeat.unregister(hash);
             // The fencing check: commit only while still owning the
             // lease. A worker paused past its TTL finds a reclaimer's
             // higher token here and withholds its stale result.
             if !leases.owns(hash, &worker, lease.token) {
-                fenced.fetch_add(1, Ordering::Relaxed);
+                counters.fenced.fetch_add(1, Ordering::Relaxed);
                 zcomp_trace::tracer::instant("sweep", "fabric.fenced");
                 zcomp_trace::tracer::counter("fabric.fenced_rejections", 1.0);
+                if events::armed() {
+                    events::emit(FleetEvent::CellFenced {
+                        index: index as u64,
+                        cell: key.clone(),
+                        token: lease.token,
+                    });
+                }
                 log_warn!(
                     "fabric: worker {worker} lost cell {index} [{key}] to a \
                      reclaimer; stale commit withheld"
@@ -817,15 +955,35 @@ where
             match committed {
                 Ok(()) => {
                     leases.mark_done(hash, &lease);
-                    completed.fetch_add(1, Ordering::Relaxed);
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
                     ran_by_me[index].store(true, Ordering::SeqCst);
                     progressed.store(true, Ordering::SeqCst);
+                    if events::armed() {
+                        let attempts = match &outcome {
+                            CellOutcome::Completed { attempts, .. } => *attempts,
+                            CellOutcome::Quarantined(failure) => failure.attempts,
+                        };
+                        events::emit(FleetEvent::CellCommitted {
+                            index: index as u64,
+                            cell: key.clone(),
+                            token: lease.token,
+                            attempts,
+                            elapsed_us,
+                        });
+                    }
                 }
                 Err(e) => {
                     // Release so the cell is retried (here or elsewhere)
                     // instead of deadlocking behind a live lease.
                     log_warn!("fabric: journal commit for cell {index} [{key}] failed ({e})");
                     leases.release(hash, &lease);
+                    if events::armed() {
+                        events::emit(FleetEvent::LeaseReleased {
+                            index: index as u64,
+                            cell: key.clone(),
+                            token: lease.token,
+                        });
+                    }
                 }
             }
         });
@@ -841,17 +999,31 @@ where
     }
     heartbeat.stop();
 
-    let view = merged_view(&dir, &keys, fingerprint, &duplicates)?;
+    let view = merged_view(&dir, &keys, fingerprint, &counters.duplicates)?;
     let done = view.iter().filter(|slot| slot.is_some()).count();
     let fabric_report = FabricReport {
         worker: worker.clone(),
-        claims: claims.into_inner(),
-        reclaims: reclaims.into_inner(),
-        fenced_rejections: fenced.into_inner(),
-        drains: drains.into_inner(),
-        completed: completed.into_inner(),
-        duplicates: duplicates.into_inner(),
+        claims: counters.claims.load(Ordering::SeqCst),
+        reclaims: counters.reclaims.load(Ordering::SeqCst),
+        fenced_rejections: counters.fenced.load(Ordering::SeqCst),
+        drains: counters.drains.load(Ordering::SeqCst),
+        completed: counters.completed.load(Ordering::SeqCst),
+        duplicates: counters.duplicates.load(Ordering::SeqCst),
     };
+    if events::armed() {
+        if drained {
+            events::emit(FleetEvent::Drain);
+        }
+        events::emit(FleetEvent::WorkerDone {
+            completed: fabric_report.completed,
+            claims: fabric_report.claims,
+            reclaims: fabric_report.reclaims,
+            fenced: fabric_report.fenced_rejections,
+            drains: fabric_report.drains,
+            duplicates: fabric_report.duplicates,
+        });
+        events::stream_close();
+    }
     if drained && done < items {
         log_warn!(
             "fabric: worker {worker} drained with {done}/{items} cells journalled \
@@ -870,7 +1042,7 @@ where
     let mut outcomes: Vec<CellOutcome<T>> = Vec::with_capacity(items);
     let mut report = SupervisionReport {
         cells: items,
-        retries: retries.into_inner(),
+        retries: counters.retries.load(Ordering::SeqCst),
         fabric: Some(fabric_report),
         ..SupervisionReport::default()
     };

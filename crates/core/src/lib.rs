@@ -31,6 +31,7 @@
 
 pub mod experiments;
 pub mod fabric;
+pub mod fleet;
 pub mod report;
 pub mod supervise;
 pub mod sweep;

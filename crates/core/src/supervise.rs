@@ -298,6 +298,14 @@ where
             let delay = opts.backoff_delay(index, attempt - 1);
             zcomp_trace::tracer::instant("sweep", "supervise.retry");
             zcomp_trace::tracer::counter("supervise.retries", 1.0);
+            if zcomp_trace::events::armed() {
+                zcomp_trace::events::emit(zcomp_trace::events::FleetEvent::CellRetried {
+                    index: index as u64,
+                    cell: cell.to_string(),
+                    attempt: attempt - 1,
+                    reason: reason.to_string(),
+                });
+            }
             log_warn!(
                 "cell {index} [{cell}] failed ({reason}); retry {}/{} in {:.1} ms",
                 attempt - 1,
@@ -326,6 +334,14 @@ where
     };
     zcomp_trace::tracer::instant("sweep", "supervise.quarantine");
     zcomp_trace::tracer::counter("supervise.quarantined", 1.0);
+    if zcomp_trace::events::armed() {
+        zcomp_trace::events::emit(zcomp_trace::events::FleetEvent::CellQuarantined {
+            index: index as u64,
+            cell: cell.to_string(),
+            attempts: failure.attempts,
+            reason: failure.reason.to_string(),
+        });
+    }
     log_warn!("{failure}");
     CellOutcome::Quarantined(failure)
 }
@@ -516,6 +532,15 @@ impl Journal {
     /// for `(cell, fingerprint)`, if any.
     pub fn entry(&self, cell: &str, fingerprint: u32) -> Option<&JournalEntry> {
         self.records.get(&(cell.to_string(), fingerprint))
+    }
+
+    /// Iterates every verified record as `(cell, fingerprint, entry)`, in
+    /// key order. Fleet status tools use this to count done/quarantined
+    /// cells without knowing the sweep grid.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32, &JournalEntry)> {
+        self.records
+            .iter()
+            .map(|((cell, fp), entry)| (cell.as_str(), *fp, entry))
     }
 
     /// Records a completed cell and persists the journal atomically

@@ -61,7 +61,10 @@ fn corrupted_cached_trace_is_quarantined_and_regenerated() {
         "a corrupt cached trace must be regenerated, never silently replayed"
     );
 
-    let qfile = root.join("quarantine").join(victim.file_name().unwrap());
+    // Quarantined copies land in bounded history slots named
+    // `<stem>.<slot>.ztrc`; a first-time failure takes slot 0.
+    let stem = victim.file_stem().unwrap().to_str().unwrap();
+    let qfile = root.join("quarantine").join(format!("{stem}.0.ztrc"));
     assert!(qfile.exists(), "damaged trace must land in quarantine/");
     let mut reason = qfile.clone().into_os_string();
     reason.push(".reason.txt");
