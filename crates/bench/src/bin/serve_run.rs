@@ -1,0 +1,247 @@
+//! Open-loop serving sweep: sustainable QPS at fixed p99, compressed vs
+//! uncompressed.
+//!
+//! Runs the `zcomp::serve` knee search over the serving grid (GoogLeNet
+//! and VGG-16 by default): per network, two identically-configured
+//! serving nodes — same tenants, same seeded arrival traces, same p99 SLO
+//! derived from the uncompressed solo batch latency — differing only in
+//! the feature-map scheme. The headline table reports the knee (highest
+//! sustainable offered QPS) per scheme and the compressed/uncompressed
+//! ratio.
+//!
+//! Cells run under the supervised sweep runtime (`run_cells`): panic
+//! quarantine, retries, `--resume`, and the multi-process lease fabric
+//! via `--fabric-dir`/`--workers` all behave as in the other sweep
+//! binaries. Exit codes: 0 clean, 1 I/O error, 2 usage, 3 quarantined
+//! cells, 4 fabric drained.
+//!
+//! `--smoke` runs the CI gate instead: the short smoke grid twice,
+//! asserting the two runs serialize byte-identically and that the
+//! compressed knee is at least the uncompressed one.
+//!
+//! ```text
+//! serve_run [--smoke] [--quick|--scale N] [--threads N] [--json PATH]
+//!           [--bench PATH] [--resume] [--attempts N] [--deadline-ms MS]
+//!           [--fabric-dir DIR] [--worker-id ID] [--lease-ttl-ms MS]
+//!           [--workers N] [--quiet]
+//! ```
+
+use std::process::exit;
+
+use serde::Serialize;
+use zcomp::experiments::serve::{run, run_sweep, ServeGridSpec, ServeResult};
+use zcomp::sweep::SweepOpts;
+use zcomp_bench::{
+    print_machine, print_table, reap_fabric_workers, report_supervision, save_json,
+    spawn_fabric_workers, sweep_error_exit, RunFlags,
+};
+
+struct Args {
+    scale: usize,
+    threads: usize,
+    json: Option<String>,
+    bench: Option<String>,
+    smoke: bool,
+    quiet: bool,
+    run: RunFlags,
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: serve_run [--smoke] [--quick|--scale N] [--threads N] \
+         [--json PATH] [--bench PATH] [--quiet], {}",
+        RunFlags::USAGE
+    );
+    exit(2);
+}
+
+fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| usage_exit(&format!("{flag}: invalid number {text:?}")))
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: 1,
+        threads: 0,
+        json: None,
+        bench: None,
+        smoke: false,
+        quiet: false,
+        run: RunFlags::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match out.run.accept(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => usage_exit(&e.to_string()),
+        }
+        match arg.as_str() {
+            "--quick" => out.scale = 64,
+            "--scale" => {
+                out.scale = parse_num("--scale", &value_of(&mut it, "--scale"));
+                if out.scale < 1 {
+                    usage_exit("--scale must be >= 1");
+                }
+            }
+            "--threads" => out.threads = parse_num("--threads", &value_of(&mut it, "--threads")),
+            "--json" => out.json = Some(value_of(&mut it, "--json")),
+            "--bench" => out.bench = Some(value_of(&mut it, "--bench")),
+            "--smoke" => out.smoke = true,
+            "--quiet" => out.quiet = true,
+            other => usage_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    if out.run.workers > 1 && out.run.fabric_dir.is_none() {
+        usage_exit("--workers needs --fabric-dir");
+    }
+    if out.quiet {
+        zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
+    }
+    out
+}
+
+/// The `BENCH_serve.json` record: the knee QPS pair per network.
+#[derive(Serialize)]
+struct BenchRecord {
+    benchmark: &'static str,
+    scale: usize,
+    networks: Vec<BenchNetwork>,
+    mean_knee_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct BenchNetwork {
+    network: String,
+    max_batch: usize,
+    slo_p99_us: f64,
+    uncompressed_knee_qps: f64,
+    compressed_knee_qps: f64,
+    knee_ratio: f64,
+}
+
+fn bench_record(result: &ServeResult, scale: usize) -> BenchRecord {
+    let networks: Vec<BenchNetwork> = result
+        .rows
+        .iter()
+        .map(|r| BenchNetwork {
+            network: r.model.to_string(),
+            max_batch: r.max_batch,
+            slo_p99_us: r.uncompressed.slo_p99_us,
+            uncompressed_knee_qps: r.uncompressed.knee_qps,
+            compressed_knee_qps: r.compressed.knee_qps,
+            knee_ratio: r.knee_ratio(),
+        })
+        .collect();
+    let mean_knee_ratio = if networks.is_empty() {
+        0.0
+    } else {
+        networks.iter().map(|n| n.knee_ratio).sum::<f64>() / networks.len() as f64
+    };
+    BenchRecord {
+        benchmark: "serve_knee",
+        scale,
+        networks,
+        mean_knee_ratio,
+    }
+}
+
+/// CI smoke gate: run the smoke grid twice, demand byte-identical JSON
+/// and a compressed knee at least the uncompressed one.
+fn smoke() -> ! {
+    let grid = ServeGridSpec::smoke_grid();
+    let first = run(&grid);
+    let second = run(&grid);
+    let a = serde_json::to_string(&first.rows).expect("serializable result");
+    let b = serde_json::to_string(&second.rows).expect("serializable result");
+    print_table(&first.table());
+    let mut failures = 0;
+    if a == b {
+        println!("OK   re-execution is byte-identical ({} bytes)", a.len());
+    } else {
+        println!("FAIL re-execution differs");
+        failures += 1;
+    }
+    for row in &first.rows {
+        let (un, co) = (row.uncompressed.knee_qps, row.compressed.knee_qps);
+        if un > 0.0 && co >= un {
+            println!(
+                "OK   {}: compressed knee {:.1} qps >= uncompressed {:.1} qps",
+                row.model, co, un
+            );
+        } else {
+            println!(
+                "FAIL {}: compressed knee {:.1} qps vs uncompressed {:.1} qps",
+                row.model, co, un
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("serve smoke: {failures} check(s) FAILED");
+        exit(1);
+    }
+    println!("serve smoke: all checks passed");
+    exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke();
+    }
+    print_machine();
+    let grid = ServeGridSpec::default_grid().scaled(args.scale);
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        args.threads
+    };
+    println!(
+        "serving sweep: {} networks x 2 schemes, {} tenants, {} arrivals/tenant, {} threads",
+        grid.networks.len(),
+        grid.params.tenants,
+        grid.params.arrivals_per_tenant,
+        threads
+    );
+    let opts = args.run.apply(SweepOpts::default().with_threads(threads));
+    let siblings = spawn_fabric_workers(&args.run);
+    let out = match run_sweep(&grid, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            reap_fabric_workers(siblings);
+            sweep_error_exit(&e);
+        }
+    };
+    reap_fabric_workers(siblings);
+
+    print_table(&out.result.table());
+    for row in &out.result.rows {
+        println!(
+            "{}: {} rate points probed per scheme, p99 bound {:.2} ms, knee ratio {:.3}x",
+            row.model,
+            row.uncompressed.points.len(),
+            row.uncompressed.slo_p99_us / 1_000.0,
+            row.knee_ratio()
+        );
+    }
+    if out.result.all_compressed_higher() {
+        println!("compression sustains strictly higher QPS at the same p99 on every network");
+    } else {
+        println!("warning: compressed knee did not beat uncompressed on every network");
+    }
+    if let Some(path) = &args.json {
+        save_json(path, &out.result);
+    }
+    if let Some(path) = &args.bench {
+        save_json(path, &bench_record(&out.result, args.scale));
+    }
+    exit(report_supervision(&out.supervision));
+}

@@ -13,5 +13,6 @@ pub mod fig03;
 pub mod fig12;
 pub mod fig15;
 pub mod fullnet;
+pub mod serve;
 pub mod sweeps;
 pub mod thread_sweep;

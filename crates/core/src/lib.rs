@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod fabric;
 pub mod fleet;
 pub mod report;
+pub mod serve;
 pub mod supervise;
 pub mod sweep;
 

@@ -1,0 +1,217 @@
+//! Seeded open-loop request-arrival processes.
+//!
+//! Serving load is *open-loop*: users issue requests on their own clock,
+//! indifferent to whether the server is keeping up — which is exactly what
+//! makes the latency knee sharp. This module generates per-tenant arrival
+//! timestamp streams (nanoseconds, non-decreasing) from a seed, so a whole
+//! rate sweep replays byte-identically.
+//!
+//! Three trace shapes stand in for production traffic:
+//!
+//! * [`ArrivalShape::Poisson`] — memoryless arrivals at rate λ, the
+//!   classic open-loop baseline.
+//! * [`ArrivalShape::Bursty`] — a Markov-modulated on/off process: inside
+//!   an ON window arrivals come at `λ / on_fraction`, OFF windows are
+//!   silent, and dwell times are exponential. The time-average rate is
+//!   exactly λ, so a bursty tenant offers the same total load as a Poisson
+//!   one while stressing queues much harder.
+//! * [`ArrivalShape::Diurnal`] — Poisson thinning against a sinusoidal
+//!   intensity `λ(t) = λ·(1 + amplitude·sin(2πt/period))`, the day/night
+//!   swing of user traffic compressed to the simulated horizon. The mean
+//!   intensity over whole periods is λ, preserving total expected load.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per second; the engine's simulated clock unit.
+pub const NS_PER_SEC: f64 = 1.0e9;
+
+/// Arrival trace shape for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalShape {
+    /// Memoryless arrivals at the configured rate.
+    Poisson,
+    /// Markov-modulated on/off arrivals.
+    Bursty {
+        /// Fraction of time spent in the ON state, in `(0, 1]`. ON-state
+        /// rate is `rate / on_fraction` so the time-average stays `rate`.
+        on_fraction: f64,
+        /// Mean number of arrivals per ON window (sets the burst length).
+        mean_on_arrivals: f64,
+    },
+    /// Sinusoidally modulated arrivals (day/night swing).
+    Diurnal {
+        /// Peak-to-mean swing, in `[0, 1)`: intensity varies over
+        /// `λ·(1 ± amplitude)`.
+        amplitude: f64,
+        /// Number of whole sine periods across the expected trace
+        /// duration `n / rate`.
+        periods: f64,
+    },
+}
+
+impl ArrivalShape {
+    /// Short stable label for keys and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalShape::Poisson => "poisson",
+            ArrivalShape::Bursty { .. } => "bursty",
+            ArrivalShape::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// One exponential inter-arrival draw at `rate` events/sec.
+fn exp_sample(rng: &mut SmallRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+/// Generates `n` arrival timestamps (nanoseconds, non-decreasing) for one
+/// tenant at time-average rate `rate_per_s`, deterministically from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `rate_per_s` is not positive or the shape parameters are out
+/// of range (`on_fraction` in `(0, 1]`, `mean_on_arrivals >= 1`,
+/// `amplitude` in `[0, 1)`, `periods > 0`).
+pub fn generate(shape: ArrivalShape, rate_per_s: f64, n: usize, seed: u64) -> Vec<u64> {
+    assert!(
+        rate_per_s > 0.0 && rate_per_s.is_finite(),
+        "arrival rate must be positive"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    match shape {
+        ArrivalShape::Poisson => {
+            let mut t = 0.0;
+            for _ in 0..n {
+                t += exp_sample(&mut rng, rate_per_s);
+                out.push((t * NS_PER_SEC) as u64);
+            }
+        }
+        ArrivalShape::Bursty {
+            on_fraction,
+            mean_on_arrivals,
+        } => {
+            assert!(
+                on_fraction > 0.0 && on_fraction <= 1.0,
+                "on_fraction must be in (0, 1]"
+            );
+            assert!(mean_on_arrivals >= 1.0, "mean_on_arrivals must be >= 1");
+            let on_rate = rate_per_s / on_fraction;
+            let mean_on_secs = mean_on_arrivals / on_rate;
+            let mean_off_secs = mean_on_secs * (1.0 - on_fraction) / on_fraction;
+            let mut t = 0.0;
+            'outer: loop {
+                let on_end = t + exp_sample(&mut rng, 1.0 / mean_on_secs);
+                loop {
+                    let dt = exp_sample(&mut rng, on_rate);
+                    if t + dt > on_end {
+                        t = on_end;
+                        break;
+                    }
+                    t += dt;
+                    out.push((t * NS_PER_SEC) as u64);
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                }
+                if mean_off_secs > 0.0 {
+                    t += exp_sample(&mut rng, 1.0 / mean_off_secs);
+                }
+            }
+        }
+        ArrivalShape::Diurnal { amplitude, periods } => {
+            assert!(
+                (0.0..1.0).contains(&amplitude),
+                "amplitude must be in [0, 1)"
+            );
+            assert!(periods > 0.0, "periods must be positive");
+            // Thinning: draw from a homogeneous process at the peak
+            // intensity, accept proportionally to the instantaneous one.
+            let peak = rate_per_s * (1.0 + amplitude);
+            let period_secs = (n as f64 / rate_per_s) / periods;
+            let omega = 2.0 * std::f64::consts::PI / period_secs;
+            let mut t = 0.0;
+            while out.len() < n {
+                t += exp_sample(&mut rng, peak);
+                let intensity = 1.0 + amplitude * (omega * t).sin();
+                let accept = intensity / (1.0 + amplitude);
+                if rng.gen_bool(accept.clamp(0.0, 1.0)) {
+                    out.push((t * NS_PER_SEC) as u64);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Empirical time-average rate of an arrival stream, events/sec.
+///
+/// Returns 0 for streams with fewer than two events or a zero span.
+pub fn empirical_rate(arrivals: &[u64]) -> f64 {
+    match (arrivals.first(), arrivals.last()) {
+        (Some(&first), Some(&last)) if last > first => {
+            (arrivals.len() - 1) as f64 / ((last - first) as f64 / NS_PER_SEC)
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_sorted_and_deterministic() {
+        let shapes = [
+            ArrivalShape::Poisson,
+            ArrivalShape::Bursty {
+                on_fraction: 0.4,
+                mean_on_arrivals: 12.0,
+            },
+            ArrivalShape::Diurnal {
+                amplitude: 0.6,
+                periods: 2.0,
+            },
+        ];
+        for shape in shapes {
+            let a = generate(shape, 500.0, 1000, 0x5eed);
+            let b = generate(shape, 500.0, 1000, 0x5eed);
+            assert_eq!(a, b, "{}", shape.label());
+            assert_eq!(a.len(), 1000);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{}", shape.label());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(ArrivalShape::Poisson, 500.0, 200, 1);
+        let b = generate(ArrivalShape::Poisson, 500.0, 200, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn on_fraction_one_degenerates_to_poisson_rate() {
+        let stream = generate(
+            ArrivalShape::Bursty {
+                on_fraction: 1.0,
+                mean_on_arrivals: 10.0,
+            },
+            800.0,
+            4000,
+            7,
+        );
+        let rate = empirical_rate(&stream);
+        assert!((rate - 800.0).abs() / 800.0 < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        generate(ArrivalShape::Poisson, 0.0, 10, 0);
+    }
+}

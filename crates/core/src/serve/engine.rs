@@ -1,0 +1,364 @@
+//! Discrete-event simulation of one rate point.
+//!
+//! Everything runs on a simulated nanosecond clock — there is no
+//! wall-clock anywhere, so a rate point is a pure function of
+//! `(ServeConfig, offered QPS)` and replays byte-identically. Events are
+//! ordered by `(time, sequence)`; the sequence number breaks ties
+//! deterministically in insertion order.
+//!
+//! The scheduler is the standard serving policy pair:
+//!
+//! * **max-batch**: an instance takes up to `max_batch` requests from one
+//!   tenant's queue (batches never mix tenants — they run different
+//!   drifted checkpoints);
+//! * **max-wait**: a queue head older than `max_wait_ns` flushes a
+//!   partial batch rather than waiting for a full one.
+//!
+//! Among dispatchable tenants the oldest queue head wins (oldest-first
+//! avoids starving low-rate tenants). Request latency is
+//! `batch completion − arrival`; completions price the batch through
+//! [`ServiceModel::batch_cost`] with the number of busy instances at
+//! admission, which is where shared-bandwidth contention bites.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use zcomp_trace::metrics::{MetricsRegistry, MetricsSummary};
+use zcomp_trace::serve as trace_serve;
+use zcomp_trace::serve::names;
+
+use super::arrival::{self, NS_PER_SEC};
+use super::service::ServiceModel;
+use super::ServeConfig;
+
+/// Outcome of simulating one offered rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Offered load, queries per second (all tenants combined).
+    pub offered_qps: f64,
+    /// Requests generated.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped at full queues.
+    pub dropped: u64,
+    /// Completed requests that exceeded the SLO.
+    pub slo_violations: u64,
+    /// Batches admitted.
+    pub batches: u64,
+    /// Latency percentiles, microseconds (from the registry histogram).
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Completed-within-SLO requests per second of simulated time.
+    pub goodput_qps: f64,
+    /// Mean admitted batch size.
+    pub mean_batch: f64,
+    /// Peak total queue depth observed at an arrival.
+    pub max_queue_depth: u64,
+    /// Worst per-batch contention slowdown.
+    pub peak_slowdown: f64,
+    /// Whether this rate meets the SLO: completions happened, drops are
+    /// within tolerance, and p99 is under the bound.
+    pub sustainable: bool,
+    /// Full metrics snapshot (latency/queue/batch histograms, counters).
+    pub metrics: MetricsSummary,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A request for `tenant` arrives (its timestamp is the event time).
+    Arrival { tenant: usize },
+    /// An instance finishes its batch.
+    Done,
+    /// A tenant's max-wait deadline fires; re-examine its queue.
+    Flush { tenant: usize },
+}
+
+type Event = (u64, u64, EventKind);
+
+/// Simulates one offered rate through `service`, returning the rate
+/// point's statistics.
+pub fn simulate(cfg: &ServeConfig, service: &mut ServiceModel, offered_qps: f64) -> RatePoint {
+    cfg.validate();
+    assert!(offered_qps > 0.0, "offered rate must be positive");
+    assert!(cfg.slo_ns > 0, "derive the SLO before simulating");
+    let _span = trace_serve::rate_point_span();
+
+    let weight_sum: f64 = cfg.tenants.iter().map(|t| t.weight).sum();
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut first_arrival = u64::MAX;
+    for (ti, tenant) in cfg.tenants.iter().enumerate() {
+        let rate = offered_qps * tenant.weight / weight_sum;
+        let stream = arrival::generate(
+            tenant.shape,
+            rate,
+            cfg.arrivals_per_tenant,
+            cfg.seed ^ (ti as u64).wrapping_mul(0x9E37_79B9),
+        );
+        first_arrival = first_arrival.min(stream[0]);
+        for t in stream {
+            heap.push(Reverse((t, seq, EventKind::Arrival { tenant: ti })));
+            seq += 1;
+        }
+    }
+
+    // Drift epochs split the expected trace horizon evenly; simulated
+    // time beyond the horizon stays in the last epoch.
+    let horizon_ns = (cfg.total_arrivals() as f64 / offered_qps * NS_PER_SEC) as u64;
+    let epoch_len = (horizon_ns / cfg.drift_epochs as u64).max(1);
+    let epoch_of = |now: u64| ((now / epoch_len) as usize).min(cfg.drift_epochs - 1);
+
+    let mut registry = MetricsRegistry::new();
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.tenants.len()];
+    let mut flush_at: Vec<Option<u64>> = vec![None; cfg.tenants.len()];
+    let mut busy = 0usize;
+    let (mut completed, mut dropped, mut violations, mut batches) = (0u64, 0u64, 0u64, 0u64);
+    let mut batch_requests = 0u64;
+    let mut within_slo = 0u64;
+    let mut max_depth = 0u64;
+    let mut peak_slowdown = 1.0f64;
+    let mut last_completion = 0u64;
+
+    while let Some(Reverse((now, _, kind))) = heap.pop() {
+        match kind {
+            EventKind::Arrival { tenant } => {
+                if queues[tenant].len() >= cfg.queue_cap {
+                    dropped += 1;
+                } else {
+                    queues[tenant].push_back(now);
+                }
+                let depth: usize = queues.iter().map(VecDeque::len).sum();
+                max_depth = max_depth.max(depth as u64);
+                registry.observe(names::QUEUE_DEPTH, depth as f64);
+                trace_serve::queue_depth(depth as f64);
+            }
+            EventKind::Done => busy -= 1,
+            EventKind::Flush { tenant } => {
+                if flush_at[tenant] == Some(now) {
+                    flush_at[tenant] = None;
+                }
+            }
+        }
+
+        // Admit batches while instances are free; otherwise arm the
+        // earliest max-wait deadline so partial batches still flush.
+        while busy < cfg.instances {
+            let mut pick: Option<(u64, usize)> = None;
+            for (ti, q) in queues.iter().enumerate() {
+                if let Some(&head) = q.front() {
+                    let ready = q.len() >= cfg.max_batch || now >= head + cfg.max_wait_ns;
+                    if ready && pick.is_none_or(|(h, _)| head < h) {
+                        pick = Some((head, ti));
+                    }
+                }
+            }
+            let Some((_, ti)) = pick else { break };
+            let take = queues[ti].len().min(cfg.max_batch);
+            busy += 1;
+            let cost = service.batch_cost(ti, epoch_of(now), take, busy);
+            peak_slowdown = peak_slowdown.max(cost.slowdown);
+            let done_at = now + cost.ns;
+            last_completion = last_completion.max(done_at);
+            for _ in 0..take {
+                let arrived = queues[ti].pop_front().expect("batch within queue length");
+                let latency_ns = done_at - arrived;
+                registry.observe(names::LATENCY_US, latency_ns as f64 / 1_000.0);
+                if latency_ns > cfg.slo_ns {
+                    violations += 1;
+                } else {
+                    within_slo += 1;
+                }
+                completed += 1;
+            }
+            batches += 1;
+            batch_requests += take as u64;
+            registry.observe(names::BATCH_SIZE, take as f64);
+            registry.observe(names::SLOWDOWN_MILLI, cost.slowdown * 1000.0);
+            trace_serve::slowdown(cost.slowdown);
+            heap.push(Reverse((done_at, seq, EventKind::Done)));
+            seq += 1;
+        }
+
+        // Arm one flush deadline for the earliest still-waiting head.
+        if busy < cfg.instances {
+            for (ti, q) in queues.iter().enumerate() {
+                if let Some(&head) = q.front() {
+                    let deadline = (head + cfg.max_wait_ns).max(now + 1);
+                    if flush_at[ti].is_none_or(|d| d > deadline) {
+                        flush_at[ti] = Some(deadline);
+                        heap.push(Reverse((deadline, seq, EventKind::Flush { tenant: ti })));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    registry.incr(names::COMPLETED, completed);
+    registry.incr(names::DROPPED, dropped);
+    registry.incr(names::SLO_VIOLATIONS, violations);
+    registry.incr(names::BATCHES, batches);
+
+    let (p50, p95, p99, mean) = registry
+        .histogram(names::LATENCY_US)
+        .map(|h| {
+            (
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.mean(),
+            )
+        })
+        .unwrap_or((0.0, 0.0, 0.0, 0.0));
+    let arrivals = cfg.total_arrivals() as u64;
+    let span_s = (last_completion.saturating_sub(first_arrival)).max(1) as f64 / NS_PER_SEC;
+    let sustainable = completed > 0
+        && (dropped as f64) <= cfg.drop_tolerance * arrivals as f64
+        && p99 <= cfg.slo_ns as f64 / 1_000.0;
+
+    RatePoint {
+        offered_qps,
+        arrivals,
+        completed,
+        dropped,
+        slo_violations: violations,
+        batches,
+        p50_us: p50,
+        p95_us: p95,
+        p99_us: p99,
+        mean_us: mean,
+        goodput_qps: within_slo as f64 / span_s,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            batch_requests as f64 / batches as f64
+        },
+        max_queue_depth: max_depth,
+        peak_slowdown,
+        sustainable,
+        metrics: registry.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::super::service::ServiceProfile;
+    use super::super::TenantSpec;
+    use super::*;
+    use zcomp_dnn::models::ModelId;
+    use zcomp_kernels::layer_exec::Scheme;
+
+    /// 1 ms/batch fixed-cost node: 1 GHz clock, batch-independent cost.
+    fn test_cfg(instances: usize, max_batch: usize) -> (ServeConfig, ServiceModel) {
+        let mut cfg = ServeConfig::new(ModelId::Googlenet, Scheme::None, max_batch);
+        cfg.instances = instances;
+        cfg.arrivals_per_tenant = 400;
+        cfg.tenants = vec![TenantSpec {
+            shape: super::super::arrival::ArrivalShape::Poisson,
+            weight: 1.0,
+        }];
+        cfg.slo_ns = 3_000_000; // 3 ms
+        cfg.max_wait_ns = 750_000;
+        let mut profiles = BTreeMap::new();
+        for padded in [1usize, 2, 4, 8, 16] {
+            profiles.insert(
+                padded,
+                ServiceProfile {
+                    base_cycles: 1_000_000.0, // 1 ms at 1 GHz
+                    dram_bytes: 0.0,
+                    noc_bytes: 0.0,
+                },
+            );
+        }
+        (cfg, ServiceModel::fixed(1.0e9, 1.0, 1.0, profiles))
+    }
+
+    #[test]
+    fn light_load_completes_everything_under_slo() {
+        let (cfg, mut service) = test_cfg(1, 1);
+        // Capacity is 1000 qps; offer 100.
+        let p = simulate(&cfg, &mut service, 100.0);
+        assert_eq!(p.completed, p.arrivals);
+        assert_eq!(p.dropped, 0);
+        assert_eq!(p.slo_violations, 0);
+        assert!(p.sustainable, "p99 {} us", p.p99_us);
+        // Service alone is 1 ms; p99 must be at least that.
+        assert!(p.p99_us >= 1_000.0);
+    }
+
+    #[test]
+    fn overload_violates_slo_or_drops() {
+        let (mut cfg, mut service) = test_cfg(1, 1);
+        cfg.queue_cap = 16;
+        let p = simulate(&cfg, &mut service, 5_000.0);
+        assert!(!p.sustainable);
+        assert!(p.dropped > 0 || p.slo_violations > 0);
+    }
+
+    #[test]
+    fn batching_aggregates_under_pressure() {
+        let (cfg, mut service) = test_cfg(1, 8);
+        // At 2x the unbatched capacity the scheduler must batch.
+        let p = simulate(&cfg, &mut service, 2_000.0);
+        assert!(p.mean_batch > 1.5, "mean batch {}", p.mean_batch);
+    }
+
+    #[test]
+    fn rate_points_replay_byte_identically() {
+        let (cfg, mut s1) = test_cfg(2, 4);
+        let (_, mut s2) = test_cfg(2, 4);
+        let a = simulate(&cfg, &mut s1, 900.0);
+        let b = simulate(&cfg, &mut s2, 900.0);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn contention_shows_up_in_peak_slowdown() {
+        let (cfg, _) = test_cfg(4, 1);
+        // DRAM-heavy profile: 2 M bytes at 1 B/cyc vs 1 M compute cycles —
+        // bandwidth-bound even solo; with 4 instances busy it stretches 4x.
+        let mut profiles = BTreeMap::new();
+        for padded in [1usize, 2, 4, 8, 16] {
+            profiles.insert(
+                padded,
+                ServiceProfile {
+                    base_cycles: 1_000_000.0,
+                    dram_bytes: 2_000_000.0,
+                    noc_bytes: 0.0,
+                },
+            );
+        }
+        let mut service = ServiceModel::fixed(1.0e9, 1.0, 1.0, profiles);
+        let mut cfg = cfg;
+        cfg.slo_ns = 30_000_000;
+        let p = simulate(&cfg, &mut service, 1_500.0);
+        assert!(p.peak_slowdown > 2.0, "peak slowdown {}", p.peak_slowdown);
+    }
+
+    #[test]
+    fn flush_deadline_bounds_partial_batch_wait() {
+        let (cfg, mut service) = test_cfg(1, 8);
+        // 20 qps: batches never fill; max-wait must flush singles. Worst
+        // case latency ≈ max_wait + service + small queueing.
+        let p = simulate(&cfg, &mut service, 20.0);
+        assert_eq!(p.completed, p.arrivals);
+        assert!(p.mean_batch < 2.0);
+        assert!(
+            p.p99_us <= (cfg.max_wait_ns as f64 / 1_000.0) + 1_000.0 + 2_000.0,
+            "p99 {} us",
+            p.p99_us
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests on the open-loop arrival processes.
+//!
+//! Pins the three properties the serving knee depends on: per-seed byte
+//! determinism, empirical mean rate within tolerance of the configured λ,
+//! and the bursty/diurnal shapes preserving total expected load (same λ
+//! time-average as Poisson, just differently distributed).
+
+use proptest::prelude::*;
+use zcomp::serve::arrival::{empirical_rate, generate, ArrivalShape, NS_PER_SEC};
+
+fn shape_from(index: usize, a: f64, b: f64) -> ArrivalShape {
+    match index % 3 {
+        0 => ArrivalShape::Poisson,
+        1 => ArrivalShape::Bursty {
+            // a in (0,1) → on_fraction in [0.2, 0.9]; b → burst length.
+            on_fraction: 0.2 + 0.7 * a,
+            mean_on_arrivals: 4.0 + 36.0 * b,
+        },
+        _ => ArrivalShape::Diurnal {
+            amplitude: 0.9 * a,
+            periods: 1.0 + 5.0 * b,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn per_seed_byte_determinism(
+        seed in 0u64..(1 << 48),
+        rate in 10.0f64..5_000.0,
+        shape_idx in 0usize..3,
+        a in 0.01f64..0.99,
+        b in 0.01f64..0.99,
+    ) {
+        let shape = shape_from(shape_idx, a, b);
+        let x = generate(shape, rate, 800, seed);
+        let y = generate(shape, rate, 800, seed);
+        prop_assert_eq!(&x, &y);
+        // Byte-for-byte through serialization too — the form reports and
+        // journals persist.
+        prop_assert_eq!(
+            serde_json::to_string(&x).unwrap(),
+            serde_json::to_string(&y).unwrap()
+        );
+    }
+
+    #[test]
+    fn streams_are_nondecreasing_and_sized(
+        seed in 0u64..(1 << 48),
+        rate in 10.0f64..5_000.0,
+        shape_idx in 0usize..3,
+        a in 0.01f64..0.99,
+        b in 0.01f64..0.99,
+        n in 1usize..600,
+    ) {
+        let stream = generate(shape_from(shape_idx, a, b), rate, n, seed);
+        prop_assert_eq!(stream.len(), n);
+        prop_assert!(stream.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_mean_rate_matches_lambda(
+        seed in 0u64..(1 << 48),
+        rate in 20.0f64..2_000.0,
+    ) {
+        let n = 3_000;
+        let stream = generate(ArrivalShape::Poisson, rate, n, seed);
+        let got = empirical_rate(&stream);
+        // Relative std of the mean is ~1/sqrt(n) ≈ 1.8%; 10% is > 5σ.
+        prop_assert!(
+            (got - rate).abs() / rate < 0.10,
+            "configured {} got {}", rate, got
+        );
+    }
+
+    #[test]
+    fn bursty_preserves_total_expected_load(
+        seed in 0u64..(1 << 48),
+        rate in 50.0f64..2_000.0,
+        on_fraction in 0.2f64..0.9,
+        burst in 4.0f64..40.0,
+    ) {
+        // A bursty tenant must offer the same time-average load as a
+        // Poisson one at the same λ — burstiness redistributes arrivals,
+        // it does not add or remove any.
+        let n = 4_000;
+        let stream = generate(
+            ArrivalShape::Bursty { on_fraction, mean_on_arrivals: burst },
+            rate,
+            n,
+            seed,
+        );
+        let got = empirical_rate(&stream);
+        // ≥ 100 on/off cycles at these parameters → ~10-15% std of the
+        // span; 0.45 relative tolerance is ~3σ.
+        prop_assert!(
+            (got - rate).abs() / rate < 0.45,
+            "configured {} got {}", rate, got
+        );
+    }
+
+    #[test]
+    fn diurnal_preserves_total_expected_load(
+        seed in 0u64..(1 << 48),
+        rate in 50.0f64..2_000.0,
+        amplitude in 0.0f64..0.9,
+        periods in 1.0f64..6.0,
+    ) {
+        let n = 4_000;
+        let stream = generate(
+            ArrivalShape::Diurnal { amplitude, periods },
+            rate,
+            n,
+            seed,
+        );
+        let got = empirical_rate(&stream);
+        prop_assert!(
+            (got - rate).abs() / rate < 0.25,
+            "configured {} got {}", rate, got
+        );
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson(
+        seed in 0u64..(1 << 48),
+        rate in 200.0f64..2_000.0,
+    ) {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for the on/off process — the shape really does
+        // stress queues harder at the same load.
+        let cv2 = |stream: &[u64]| {
+            let gaps: Vec<f64> = stream
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as f64 / NS_PER_SEC)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+                / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = generate(ArrivalShape::Poisson, rate, 4_000, seed);
+        let bursty = generate(
+            ArrivalShape::Bursty { on_fraction: 0.3, mean_on_arrivals: 16.0 },
+            rate,
+            4_000,
+            seed,
+        );
+        prop_assert!(cv2(&bursty) > cv2(&poisson));
+    }
+}

@@ -151,11 +151,15 @@ pub fn all_configs() -> Vec<DeepBenchConfig> {
     configs
 }
 
-fn suite_rank(s: Suite) -> usize {
-    Suite::ALL
-        .iter()
-        .position(|&x| x == s)
-        .expect("known suite")
+/// Plotting-order rank of a suite; exhaustive so adding a suite is a
+/// compile error here rather than a runtime `expect`.
+const fn suite_rank(s: Suite) -> usize {
+    match s {
+        Suite::ConvTrain => 0,
+        Suite::ConvInfer => 1,
+        Suite::FcTrain => 2,
+        Suite::FcInfer => 3,
+    }
 }
 
 /// Configurations of one suite, sorted by size.
@@ -169,6 +173,13 @@ pub fn suite_configs(suite: Suite) -> Vec<DeepBenchConfig> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn suite_rank_matches_plotting_order() {
+        for (i, &s) in Suite::ALL.iter().enumerate() {
+            assert_eq!(suite_rank(s), i, "{s}");
+        }
+    }
 
     #[test]
     fn there_are_44_configs() {

@@ -233,27 +233,41 @@ impl NetworkBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no branch is open.
+    /// Panics if no branch is open; see
+    /// [`try_end_branch`](Self::try_end_branch) for the fallible form.
     pub fn end_branch(&mut self) -> &mut Self {
+        self.try_end_branch().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`end_branch`](Self::end_branch): errors instead of
+    /// panicking when no branch is open.
+    pub fn try_end_branch(&mut self) -> Result<&mut Self, NetworkBuildError> {
         let trunk = self
             .branch_stack
             .pop()
-            .expect("end_branch without begin_branch");
+            .ok_or(NetworkBuildError::UnbalancedEndBranch)?;
         self.pending_branch_channels.push(self.current.c);
         self.current = trunk;
-        self
+        Ok(self)
     }
 
     /// Merges all completed branches channel-wise (inception concat).
     ///
     /// # Panics
     ///
-    /// Panics if no branches are pending.
+    /// Panics if no branches are pending; see
+    /// [`try_merge_concat`](Self::try_merge_concat) for the fallible form.
     pub fn merge_concat(&mut self, name: &str) -> &mut Self {
-        assert!(
-            !self.pending_branch_channels.is_empty(),
-            "merge_concat without completed branches"
-        );
+        self.try_merge_concat(name)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`merge_concat`](Self::merge_concat): errors instead of
+    /// panicking when no completed branches are pending.
+    pub fn try_merge_concat(&mut self, name: &str) -> Result<&mut Self, NetworkBuildError> {
+        if self.pending_branch_channels.is_empty() {
+            return Err(NetworkBuildError::MergeWithoutBranches);
+        }
         let channels: usize = self.pending_branch_channels.drain(..).sum();
         // The concat layer's input is the trunk shape; its output has the
         // summed channel count at the branch spatial dimensions.
@@ -267,7 +281,7 @@ impl NetworkBuilder {
         };
         self.current = out;
         self.layers.push(layer);
-        self
+        Ok(self)
     }
 
     /// Adds a residual elementwise addition with the trunk (identity
@@ -277,18 +291,62 @@ impl NetworkBuilder {
     }
 
     /// Finalizes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch is still open; see
+    /// [`try_build`](Self::try_build) for the fallible form.
     pub fn build(&mut self) -> Network {
-        assert!(
-            self.branch_stack.is_empty(),
-            "unclosed branch at build time"
-        );
-        Network {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build): errors instead of panicking when
+    /// branches are still open.
+    pub fn try_build(&mut self) -> Result<Network, NetworkBuildError> {
+        if !self.branch_stack.is_empty() {
+            return Err(NetworkBuildError::UnclosedBranches {
+                open: self.branch_stack.len(),
+            });
+        }
+        Ok(Network {
             name: std::mem::take(&mut self.name),
             input: self.input,
             layers: std::mem::take(&mut self.layers),
+        })
+    }
+}
+
+/// Structural error from the fallible network-builder methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkBuildError {
+    /// `end_branch` was called with no open branch.
+    UnbalancedEndBranch,
+    /// `merge_concat` was called with no completed branches pending.
+    MergeWithoutBranches,
+    /// `build` was called while branches were still open.
+    UnclosedBranches {
+        /// Number of branches left open.
+        open: usize,
+    },
+}
+
+impl std::fmt::Display for NetworkBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkBuildError::UnbalancedEndBranch => {
+                write!(f, "end_branch without begin_branch")
+            }
+            NetworkBuildError::MergeWithoutBranches => {
+                write!(f, "merge_concat without completed branches")
+            }
+            NetworkBuildError::UnclosedBranches { open } => {
+                write!(f, "unclosed branch at build time ({open} open)")
+            }
         }
     }
 }
+
+impl std::error::Error for NetworkBuildError {}
 
 #[cfg(test)]
 mod tests {
@@ -355,5 +413,57 @@ mod tests {
     #[should_panic(expected = "without begin_branch")]
     fn unbalanced_end_branch_panics() {
         Network::builder("t", TensorShape::new(1, 3, 8, 8)).end_branch();
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let shape = TensorShape::new(1, 3, 8, 8);
+        assert_eq!(
+            Network::builder("t", shape).try_end_branch().err(),
+            Some(NetworkBuildError::UnbalancedEndBranch)
+        );
+        assert_eq!(
+            Network::builder("t", shape).try_merge_concat("m").err(),
+            Some(NetworkBuildError::MergeWithoutBranches)
+        );
+        assert_eq!(
+            Network::builder("t", shape)
+                .begin_branch()
+                .try_build()
+                .err(),
+            Some(NetworkBuildError::UnclosedBranches { open: 1 })
+        );
+    }
+
+    #[test]
+    fn try_build_succeeds_on_balanced_branches() {
+        let net = Network::builder("t", TensorShape::new(1, 3, 8, 8))
+            .begin_branch()
+            .conv("b1", 4, 1, 1, 0, true)
+            .try_end_branch()
+            .expect("branch was open")
+            .try_merge_concat("m")
+            .expect("branch was completed")
+            .try_build()
+            .expect("balanced builder");
+        assert_eq!(net.layers.last().map(|l| l.name.as_str()), Some("m"));
+    }
+
+    #[test]
+    fn build_error_messages_are_stable() {
+        // The panicking wrappers surface these via Display; pin them so
+        // should_panic substrings above stay honest.
+        assert_eq!(
+            NetworkBuildError::UnbalancedEndBranch.to_string(),
+            "end_branch without begin_branch"
+        );
+        assert_eq!(
+            NetworkBuildError::MergeWithoutBranches.to_string(),
+            "merge_concat without completed branches"
+        );
+        assert_eq!(
+            NetworkBuildError::UnclosedBranches { open: 2 }.to_string(),
+            "unclosed branch at build time (2 open)"
+        );
     }
 }

@@ -159,6 +159,99 @@ impl SparsityModel {
     }
 }
 
+impl SparsityModel {
+    /// Derives the per-tenant drift view of this model for `tenant`.
+    ///
+    /// See [`TenantDrift`]: all tenants share this model's seed, but each
+    /// (tenant, drift-epoch) pair deterministically perturbs the operating
+    /// point, so co-resident serving tenants diverge without any shared
+    /// mutable state.
+    pub fn for_tenant(&self, tenant: u64) -> TenantDrift {
+        TenantDrift {
+            model: *self,
+            tenant,
+            spread: 0.08,
+        }
+    }
+}
+
+/// Deterministic per-tenant sparsity drift on top of a shared
+/// [`SparsityModel`].
+///
+/// A serving fleet hosts many tenants whose traffic exercises the same
+/// architecture at different operating points — fine-tuned checkpoints,
+/// different input domains, different stages of convergence. To the
+/// compressor all of that appears as a slowly drifting average sparsity.
+/// `TenantDrift` derives, from one shared seed, a per-tenant sequence of
+/// models indexed by *drift epoch*: tenants diverge from each other, every
+/// `(tenant, epoch)` pair maps to exactly one model, and re-deriving is a
+/// pure function of the shared seed (no hidden state, so serving sweeps
+/// replay byte-identically).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantDrift {
+    /// The shared base model all tenants drift around.
+    pub model: SparsityModel,
+    /// Tenant index; part of the derivation, not an array offset.
+    pub tenant: u64,
+    /// Half-width of the uniform band the tenant's base sparsity is drawn
+    /// from, per drift epoch.
+    pub spread: f64,
+}
+
+/// SplitMix64 finalizer over (seed, tenant, epoch); decorrelates nearby
+/// tenant/epoch indices so tenant 0 epoch 1 and tenant 1 epoch 0 do not
+/// collide.
+fn mix_tenant_seed(seed: u64, tenant: u64, epoch: u64) -> u64 {
+    let mut z = seed
+        ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ epoch.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TenantDrift {
+    /// Overrides the drift band half-width.
+    pub fn with_spread(mut self, spread: f64) -> Self {
+        assert!((0.0..=0.3).contains(&spread), "spread must be in [0, 0.3]");
+        self.spread = spread;
+        self
+    }
+
+    /// The drifted model for this tenant at `epoch`.
+    ///
+    /// The base sparsity is offset by a uniform draw in `±spread` and the
+    /// jitter seed is re-derived, both keyed on `(seed, tenant, epoch)`, so
+    /// two tenants (or two epochs) produce different but individually
+    /// reproducible profiles.
+    pub fn model_at(&self, epoch: usize) -> SparsityModel {
+        let offset = if self.spread > 0.0 {
+            let mut rng = SmallRng::seed_from_u64(mix_tenant_seed(
+                self.model.seed,
+                self.tenant,
+                epoch as u64,
+            ));
+            rng.gen_range(-self.spread..self.spread)
+        } else {
+            0.0
+        };
+        SparsityModel {
+            base: (self.model.base + offset).clamp(0.05, 0.88),
+            seed: mix_tenant_seed(self.model.seed ^ 0x007e_4a17, self.tenant, epoch as u64),
+            ..self.model
+        }
+    }
+
+    /// Per-layer profile of `net` for this tenant at drift `epoch`.
+    ///
+    /// The underlying training-epoch transient is pinned at convergence
+    /// (epoch 50): serving traffic hits trained checkpoints, and the drift
+    /// epoch — not the warm-up curve — carries the variation.
+    pub fn profile(&self, net: &Network, epoch: usize) -> SparsityProfile {
+        self.model_at(epoch).profile(net, 50)
+    }
+}
+
 /// Generates a post-ReLU activation buffer with the target `sparsity` and
 /// spatially-clustered zero runs (mean run length `mean_run`).
 ///
@@ -397,6 +490,76 @@ mod tests {
         let e0 = model.profile(&net, 0).average(&net);
         let e50 = model.profile(&net, 50).average(&net);
         assert!(e50 > e0, "epoch 0 {e0} vs epoch 50 {e50}");
+    }
+
+    #[test]
+    fn tenant_profiles_diverge_deterministically_from_shared_seed() {
+        // Satellite: multi-epoch tenant drift. One shared SparsityModel
+        // seed; two tenants must diverge from each other at every drift
+        // epoch, each tenant must drift across epochs, and re-deriving
+        // from the shared seed must be exact.
+        let net = crate::models::ModelId::Resnet32.build(1);
+        let model = SparsityModel::default();
+        let t0 = model.for_tenant(0);
+        let t1 = model.for_tenant(1);
+        for epoch in 0..4 {
+            let p0 = t0.profile(&net, epoch);
+            let p1 = t1.profile(&net, epoch);
+            assert_ne!(p0, p1, "tenants 0/1 collided at drift epoch {epoch}");
+            assert_eq!(p0, t0.profile(&net, epoch), "re-derivation must be pure");
+            assert_eq!(p1, t1.profile(&net, epoch), "re-derivation must be pure");
+        }
+        let e0 = t0.profile(&net, 0);
+        let e3 = t0.profile(&net, 3);
+        assert_ne!(e0, e3, "a tenant must drift across epochs");
+    }
+
+    #[test]
+    fn tenant_drift_stays_within_calibrated_band() {
+        let net = vgg16(1);
+        let model = SparsityModel::default();
+        for tenant in 0..6 {
+            let drift = model.for_tenant(tenant);
+            for epoch in 0..4 {
+                let avg = drift.profile(&net, epoch).average(&net);
+                assert!(
+                    (0.30..0.78).contains(&avg),
+                    "tenant {tenant} epoch {epoch}: average {avg} left the band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drifted_profile_round_trips_through_generated_activations() {
+        // The drifted per-layer targets must be what generate_activations
+        // actually produces and measured_sparsity reads back — i.e. the
+        // drift hook composes with the activation pipeline end to end.
+        let net = vgg16(1);
+        let drift = SparsityModel::default().for_tenant(3);
+        for epoch in [0usize, 2] {
+            let profile = drift.profile(&net, epoch);
+            let relu_idx = net
+                .layers
+                .iter()
+                .position(|l| l.has_relu())
+                .expect("vgg has relu layers");
+            let target = profile.per_layer[relu_idx];
+            let buf = generate_activations(100_000, target, 6.0, 0xd21f7 ^ epoch as u64);
+            let got = measured_sparsity(&buf);
+            assert!(
+                (got - target).abs() < 0.04,
+                "epoch {epoch}: target {target} measured {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_spread_pins_tenant_to_base_sparsity() {
+        let drift = SparsityModel::default().for_tenant(9).with_spread(0.0);
+        for epoch in 0..3 {
+            assert_eq!(drift.model_at(epoch).base, SparsityModel::default().base);
+        }
     }
 
     #[test]

@@ -37,4 +37,5 @@ pub mod csv;
 pub mod events;
 pub mod log;
 pub mod metrics;
+pub mod serve;
 pub mod tracer;

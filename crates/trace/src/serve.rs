@@ -1,0 +1,92 @@
+//! Serving-engine metric vocabulary and trace helpers.
+//!
+//! The open-loop serving simulator (`zcomp::serve`) reports its scientific
+//! statistics — latency percentiles, goodput, queue depths, drop and SLO
+//! counts — through the always-compiled [`crate::metrics`] registry. The
+//! metric names live here so the engine, the `serve_run` binary and the
+//! docs agree on one vocabulary, and so the trace-feature span/counter
+//! helpers sit next to the names they emit.
+//!
+//! The helpers forward to [`crate::tracer`] and inherit its contract:
+//! without the `trace` cargo feature every one of them is an empty
+//! `#[inline]` function, so serve reports are byte-identical whether or
+//! not the tracer is linked in. Registry histograms are *not* behind the
+//! feature — they are the experiment's output, not diagnostics.
+
+use crate::tracer;
+
+/// Canonical metric names recorded by the serving engine, all under the
+/// `serve.` prefix.
+pub mod names {
+    /// Histogram: end-to-end request latency (arrival → batch completion),
+    /// microseconds.
+    pub const LATENCY_US: &str = "serve.latency_us";
+    /// Histogram: total queued requests across tenants, sampled at every
+    /// arrival.
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Histogram: admitted batch sizes (pre-padding).
+    pub const BATCH_SIZE: &str = "serve.batch_size";
+    /// Histogram: per-batch contention slowdown (effective / solo cycles,
+    /// scaled ×1000 so the log2 buckets resolve small slowdowns).
+    pub const SLOWDOWN_MILLI: &str = "serve.slowdown_milli";
+    /// Counter: requests completed (within or beyond SLO).
+    pub const COMPLETED: &str = "serve.completed";
+    /// Counter: requests dropped at a full tenant queue.
+    pub const DROPPED: &str = "serve.dropped";
+    /// Counter: completed requests whose latency exceeded the SLO.
+    pub const SLO_VIOLATIONS: &str = "serve.slo_violations";
+    /// Counter: batches admitted to instances.
+    pub const BATCHES: &str = "serve.batches";
+}
+
+/// Span covering one simulated rate point (all events at one offered QPS).
+pub fn rate_point_span() -> tracer::SpanGuard {
+    tracer::span("serve", "rate_point")
+}
+
+/// Span covering one solo batch simulation feeding the service-time memo.
+pub fn profile_span() -> tracer::SpanGuard {
+    tracer::span("serve", "profile_batch")
+}
+
+/// Span covering one knee search (doubling scan + bisection).
+pub fn knee_span() -> tracer::SpanGuard {
+    tracer::span("serve", "knee_search")
+}
+
+/// Counter sample: total queue depth at an arrival.
+#[inline]
+pub fn queue_depth(depth: f64) {
+    tracer::counter(names::QUEUE_DEPTH, depth);
+}
+
+/// Counter sample: contention slowdown of an admitted batch.
+#[inline]
+pub fn slowdown(factor: f64) {
+    tracer::counter("serve.slowdown", factor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::names;
+
+    #[test]
+    fn names_are_prefixed_and_distinct() {
+        let all = [
+            names::LATENCY_US,
+            names::QUEUE_DEPTH,
+            names::BATCH_SIZE,
+            names::SLOWDOWN_MILLI,
+            names::COMPLETED,
+            names::DROPPED,
+            names::SLO_VIOLATIONS,
+            names::BATCHES,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("serve."), "{a}");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}
