@@ -5,7 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use zcomp_dnn::sparsity::generate_activations;
 use zcomp_isa::ccf::CompareCond;
-use zcomp_isa::compress::{compress_f32, compress_f32_with, expand_f32};
+use zcomp_isa::compress::{
+    compress_f32, compress_f32_with, compress_f32_with_backend, expand_f32,
+    expand_f32_into_with_backend,
+};
+use zcomp_isa::native::CodecBackend;
 use zcomp_isa::stream::HeaderMode;
 
 fn bench_compress(c: &mut Criterion) {
@@ -37,6 +41,29 @@ fn bench_expand(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_backend");
+    let elements = 1 << 18;
+    group.throughput(Throughput::Bytes((elements * 4) as u64));
+    let data = generate_activations(elements, 0.53, 6.0, 13);
+    let stream = compress_f32(&data, CompareCond::Eqz).expect("whole vectors");
+    let mut out = vec![0.0f32; stream.elements()];
+    for backend in [CodecBackend::Scalar, CodecBackend::Native] {
+        group.bench_with_input(BenchmarkId::new("compress", backend), &data, |b, data| {
+            b.iter(|| {
+                compress_f32_with_backend(data, CompareCond::Eqz, HeaderMode::Interleaved, backend)
+                    .expect("whole vectors")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("expand", backend), &stream, |b, stream| {
+            b.iter(|| {
+                expand_f32_into_with_backend(stream, &mut out, backend).expect("valid stream")
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Criterion tuned for CI-scale runs: small sample counts so the whole
 /// suite finishes quickly even on a single core.
 fn fast() -> Criterion {
@@ -48,6 +75,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_compress, bench_expand
+    targets = bench_compress, bench_expand, bench_backends
 }
 criterion_main!(benches);

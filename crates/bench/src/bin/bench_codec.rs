@@ -1,0 +1,341 @@
+//! Benchmark-gated harness for the stream codec's native SIMD backend.
+//!
+//! Three modes, mirroring `bench_sim`:
+//!
+//! * `bench_codec --smoke` — differential bit-identity gate: every
+//!   native ladder rung the host supports must produce byte-identical
+//!   `CompressedStream`s and expansions vs the scalar oracle, for every
+//!   element type, both compare conditions, both header modes and a set
+//!   of adversarial sparsity patterns. Exits non-zero on divergence.
+//!   Used by CI.
+//! * `bench_codec --levels` — prints the detected dispatch ladder.
+//! * `bench_codec [--json BENCH_codec.json] [--mib N]` — measures
+//!   scalar-vs-native compress/expand throughput (GB/s) per element
+//!   type, plus the end-to-end fig15 delta (the experiment that
+//!   compresses real activation snapshots through the actual codec),
+//!   and writes the result record.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use zcomp_isa::buffer::{compress_bytes_with_backend, expand_bytes_into_with_backend};
+use zcomp_isa::ccf::CompareCond;
+use zcomp_isa::dtype::ElemType;
+use zcomp_isa::native::{available_levels, compress_at_level, expand_at_level, CodecBackend};
+use zcomp_isa::stream::HeaderMode;
+use zcomp_isa::VECTOR_BYTES;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    zcomp_trace::log::set_level(zcomp_trace::log::Level::Off);
+    match args.first().map(String::as_str) {
+        Some("--smoke") => smoke(),
+        Some("--levels") => levels(),
+        _ => full(&args),
+    }
+}
+
+fn levels() {
+    println!("default backend : {}", CodecBackend::detect());
+    match zcomp_isa::native_isa() {
+        Some(isa) => println!("native isa      : {isa}"),
+        None => println!("native isa      : (none — scalar only)"),
+    }
+    for l in available_levels() {
+        println!("ladder rung     : {l}");
+    }
+}
+
+/// A deterministic typed buffer of `vectors` vectors with roughly
+/// `sparsity` of its lanes zero, zeroed lane-at-a-time so runs of every
+/// length and alignment appear.
+fn synthetic_buffer(ty: ElemType, vectors: usize, sparsity: f64, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let es = ty.size_bytes();
+    let mut data = vec![0u8; vectors * VECTOR_BYTES];
+    for lane in data.chunks_mut(es) {
+        if !rng.gen_bool(sparsity) {
+            for b in lane.iter_mut() {
+                *b = rng.gen_range(0u8..=255) | 1; // nonzero under every dtype view
+            }
+        }
+    }
+    data
+}
+
+/// A named generator of adversarial input shapes for the smoke gate.
+type SmokePattern = (&'static str, Box<dyn Fn(ElemType) -> Vec<u8>>);
+
+/// Differential smoke gate: every rung vs the scalar oracle.
+fn smoke() {
+    let patterns: Vec<SmokePattern> = vec![
+        ("empty", Box::new(|_| Vec::new())),
+        ("all-zero", Box::new(|_| vec![0u8; 16 * VECTOR_BYTES])),
+        (
+            "all-kept",
+            Box::new(|_| {
+                (0..16 * VECTOR_BYTES)
+                    .map(|i| (i % 251) as u8 | 1)
+                    .collect()
+            }),
+        ),
+        (
+            "half-sparse",
+            Box::new(|ty| synthetic_buffer(ty, 16, 0.5, 0xC0DEC)),
+        ),
+        (
+            "mostly-sparse",
+            Box::new(|ty| synthetic_buffer(ty, 16, 0.95, 0xC0DEC + 1)),
+        ),
+        (
+            "ragged-tail",
+            Box::new(|ty| {
+                // Final vector nearly full, so its payload ends within a
+                // register's width of the data region's end — the
+                // tail-slack path of the native expand.
+                let mut d = synthetic_buffer(ty, 5, 0.9, 0xC0DEC + 2);
+                let last = d.len() - VECTOR_BYTES;
+                for (i, b) in d[last..].iter_mut().enumerate() {
+                    *b = (i % 97) as u8 | 1;
+                }
+                d
+            }),
+        ),
+    ];
+    let mut checked = 0u32;
+    let mut failures = 0u32;
+    for (name, make) in &patterns {
+        for ty in ElemType::ALL {
+            let data = make(ty);
+            for cond in [CompareCond::Eqz, CompareCond::Ltez] {
+                for mode in [HeaderMode::Interleaved, HeaderMode::Separate] {
+                    let oracle =
+                        compress_bytes_with_backend(&data, ty, cond, mode, CodecBackend::Scalar)
+                            .expect("scalar compress");
+                    let mut oracle_out = vec![0u8; oracle.vectors() * VECTOR_BYTES];
+                    expand_bytes_into_with_backend(&oracle, &mut oracle_out, CodecBackend::Scalar)
+                        .expect("scalar expand");
+                    for &level in available_levels() {
+                        checked += 1;
+                        let native = compress_at_level(level, &data, ty, cond, mode);
+                        let mut native_out = vec![0xA5u8; oracle.vectors() * VECTOR_BYTES];
+                        expand_at_level(level, &oracle, &mut native_out).expect("native expand");
+                        if native != oracle || native_out != oracle_out {
+                            println!("FAIL {level} {ty} {cond:?} {mode} {name}");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if available_levels().is_empty() {
+        println!(
+            "bench_codec --smoke: no native rungs on this host; scalar-only (trivially identical)"
+        );
+        return;
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_codec --smoke: {failures}/{checked} combinations diverge from the scalar oracle"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_codec --smoke: {} combinations bit-identical across rungs [{}]",
+        checked,
+        available_levels()
+            .iter()
+            .map(|l| l.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+#[derive(Serialize)]
+struct DtypeThroughput {
+    dtype: String,
+    uncompressed_mib: usize,
+    compress_scalar_gb_s: f64,
+    compress_native_gb_s: f64,
+    compress_speedup: f64,
+    expand_scalar_gb_s: f64,
+    expand_native_gb_s: f64,
+    expand_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    benchmark: &'static str,
+    native_isa: Option<&'static str>,
+    ladder: Vec<&'static str>,
+    sparsity: f64,
+    throughput: Vec<DtypeThroughput>,
+    end_to_end: EndToEnd,
+    backends_bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    /// fig15 compresses real activation snapshots through the actual
+    /// stream codec — the honest end-to-end consumer. (The fig12 sweep
+    /// models zcomps/zcompl timing from nnz counts and never invokes
+    /// the functional codec, so it is backend-independent by design.)
+    experiment: &'static str,
+    scalar_secs: f64,
+    native_secs: f64,
+    speedup: f64,
+    results_identical: bool,
+}
+
+/// Best-of-N wall time for `f`, in seconds.
+fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn full(args: &[String]) {
+    let mut json_path = None;
+    let mut mib = 32usize;
+    let mut it = args.iter();
+    let usage = |msg: String| -> ! {
+        eprintln!("error: {msg} (usage: bench_codec [--smoke|--levels] [--mib N] [--json PATH])");
+        std::process::exit(2)
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => usage("--json needs a path".to_string()),
+            },
+            "--mib" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--mib needs a value".to_string()));
+                mib = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(format!("--mib needs an integer, got `{v}`")));
+            }
+            other => usage(format!("unknown argument: {other}")),
+        }
+    }
+
+    let sparsity = 0.53; // the paper's fig12 operating point
+    let bytes = mib.max(1) << 20;
+    let vectors = bytes / VECTOR_BYTES;
+    let gb = |secs: f64| (vectors * VECTOR_BYTES) as f64 / secs / 1e9;
+    let reps = 7;
+    let mut throughput = Vec::new();
+    let mut identical = true;
+    for ty in [ElemType::F32, ElemType::F16, ElemType::I8] {
+        let data = synthetic_buffer(ty, vectors, sparsity, 0xBE2C0DEC ^ ty.lanes() as u64);
+        let mode = HeaderMode::Interleaved;
+        let cond = CompareCond::Eqz;
+        let compress = |backend: CodecBackend| -> f64 {
+            best_of(reps, || {
+                let s = compress_bytes_with_backend(&data, ty, cond, mode, backend)
+                    .expect("whole vectors");
+                std::hint::black_box(&s);
+            })
+        };
+        let c_scalar = compress(CodecBackend::Scalar);
+        let c_native = compress(CodecBackend::Native);
+        let stream_scalar =
+            compress_bytes_with_backend(&data, ty, cond, mode, CodecBackend::Scalar)
+                .expect("whole");
+        let stream_native =
+            compress_bytes_with_backend(&data, ty, cond, mode, CodecBackend::Native)
+                .expect("whole");
+        identical &= stream_scalar == stream_native;
+        let mut out = vec![0u8; vectors * VECTOR_BYTES];
+        let expand = |backend: CodecBackend, out: &mut Vec<u8>| -> f64 {
+            best_of(reps, || {
+                expand_bytes_into_with_backend(&stream_scalar, out, backend).expect("expand");
+                std::hint::black_box(&out);
+            })
+        };
+        let e_scalar = expand(CodecBackend::Scalar, &mut out);
+        let scalar_out = out.clone();
+        let e_native = expand(CodecBackend::Native, &mut out);
+        identical &= scalar_out == out && out == data;
+        let row = DtypeThroughput {
+            dtype: ty.to_string(),
+            uncompressed_mib: mib,
+            compress_scalar_gb_s: gb(c_scalar),
+            compress_native_gb_s: gb(c_native),
+            compress_speedup: c_scalar / c_native,
+            expand_scalar_gb_s: gb(e_scalar),
+            expand_native_gb_s: gb(e_native),
+            expand_speedup: e_scalar / e_native,
+        };
+        println!(
+            "{:>5}  compress {:>6.2} -> {:>6.2} GB/s ({:.2}x)   expand {:>6.2} -> {:>6.2} GB/s ({:.2}x)",
+            row.dtype,
+            row.compress_scalar_gb_s,
+            row.compress_native_gb_s,
+            row.compress_speedup,
+            row.expand_scalar_gb_s,
+            row.expand_native_gb_s,
+            row.expand_speedup,
+        );
+        throughput.push(row);
+    }
+
+    // End-to-end: fig15 runs the real codec over generated activations.
+    let t0 = Instant::now();
+    let fig15_scalar =
+        zcomp::experiments::fig15::run_with_backend(3, 256 * 1024, CodecBackend::Scalar);
+    let scalar_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let fig15_native =
+        zcomp::experiments::fig15::run_with_backend(3, 256 * 1024, CodecBackend::Native);
+    let native_secs = t0.elapsed().as_secs_f64();
+    let results_identical = fig15_scalar == fig15_native;
+    identical &= results_identical;
+    println!(
+        "fig15  scalar {scalar_secs:.3}s -> native {native_secs:.3}s ({:.2}x), results identical: {results_identical}",
+        scalar_secs / native_secs,
+    );
+
+    let record = BenchRecord {
+        benchmark: "codec_native_vs_scalar",
+        native_isa: zcomp_isa::native_isa(),
+        ladder: available_levels().iter().map(|l| l.label()).collect(),
+        sparsity,
+        throughput,
+        end_to_end: EndToEnd {
+            experiment: "fig15",
+            scalar_secs,
+            native_secs,
+            speedup: scalar_secs / native_secs,
+            results_identical,
+        },
+        backends_bit_identical: identical,
+    };
+    if !identical {
+        eprintln!("error: scalar and native backends diverged during the benchmark");
+        std::process::exit(1);
+    }
+    let text = match serde_json::to_string_pretty(&record) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot serialize bench record: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{text}");
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, &text) {
+            eprintln!("error: cannot write {p}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {p}");
+    }
+}

@@ -12,7 +12,9 @@ use zcomp_cachecomp::{limitcc_ratio, twotag_ratio};
 use zcomp_dnn::models::ModelId;
 use zcomp_dnn::sparsity::{generate_activations, SparsityModel};
 use zcomp_isa::ccf::CompareCond;
-use zcomp_isa::compress::compress_f32;
+use zcomp_isa::compress::compress_f32_with_backend;
+use zcomp_isa::native::CodecBackend;
+use zcomp_isa::stream::HeaderMode;
 
 use crate::report::{geomean, Table};
 
@@ -86,8 +88,26 @@ impl Fig15Result {
 }
 
 /// Runs the Figure 15 analysis: `snapshots_per_network` random layer
-/// snapshots of `elements_per_snapshot` elements each.
+/// snapshots of `elements_per_snapshot` elements each, using the
+/// process-default codec backend.
 pub fn run(snapshots_per_network: usize, elements_per_snapshot: usize) -> Fig15Result {
+    run_with_backend(
+        snapshots_per_network,
+        elements_per_snapshot,
+        CodecBackend::detect(),
+    )
+}
+
+/// Runs the Figure 15 analysis through an explicitly chosen codec
+/// backend — fig15 compresses real activation snapshots with the actual
+/// stream codec, so it is the end-to-end consumer the codec benchmark
+/// A/Bs. Results are backend-independent (the backends are bit-identical
+/// by construction); only wall-clock differs.
+pub fn run_with_backend(
+    snapshots_per_network: usize,
+    elements_per_snapshot: usize,
+    backend: CodecBackend,
+) -> Fig15Result {
     let mut rng = SmallRng::seed_from_u64(0x0F15);
     let model = SparsityModel::default();
     let mut snapshots = Vec::new();
@@ -129,8 +149,13 @@ pub fn run(snapshots_per_network: usize, elements_per_snapshot: usize) -> Fig15R
                 6.0,
                 0x0F15_0000 ^ ((k as u64) << 32) ^ idx as u64,
             );
-            let stream =
-                compress_f32(&data, CompareCond::Eqz).expect("whole vectors by construction");
+            let stream = compress_f32_with_backend(
+                &data,
+                CompareCond::Eqz,
+                HeaderMode::Interleaved,
+                backend,
+            )
+            .expect("whole vectors by construction");
             snapshots.push(Fig15Snapshot {
                 model: id,
                 layer: net.layers[idx].name.clone(),
@@ -178,5 +203,12 @@ mod tests {
     fn table_has_geomean_row() {
         let text = quick().table().render();
         assert!(text.contains("geomean"));
+    }
+
+    #[test]
+    fn backends_produce_identical_results() {
+        let scalar = run_with_backend(2, 16 * 1024, CodecBackend::Scalar);
+        let native = run_with_backend(2, 16 * 1024, CodecBackend::Native);
+        assert_eq!(scalar, native);
     }
 }

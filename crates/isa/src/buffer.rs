@@ -9,11 +9,13 @@
 use crate::ccf::CompareCond;
 use crate::dtype::ElemType;
 use crate::error::ZcompError;
+use crate::native::{self, CodecBackend};
 use crate::stream::{CompressedStream, CompressedWriter, HeaderMode};
 use crate::vec512::Vec512;
 use crate::VECTOR_BYTES;
 
-/// Compresses a raw little-endian buffer of `ty`-typed elements.
+/// Compresses a raw little-endian buffer of `ty`-typed elements, using
+/// the process-default [`CodecBackend`].
 ///
 /// # Errors
 ///
@@ -25,11 +27,36 @@ pub fn compress_bytes(
     cond: CompareCond,
     mode: HeaderMode,
 ) -> Result<CompressedStream, ZcompError> {
+    compress_bytes_with_backend(data, ty, cond, mode, CodecBackend::detect())
+}
+
+/// Compresses a raw typed buffer through an explicitly chosen backend.
+///
+/// [`CodecBackend::Native`] silently degrades to the scalar path on hosts
+/// with no supported vector extension; both backends produce byte-identical
+/// streams.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::PartialVector`] if the buffer is not a whole
+/// number of 64-byte vectors.
+pub fn compress_bytes_with_backend(
+    data: &[u8],
+    ty: ElemType,
+    cond: CompareCond,
+    mode: HeaderMode,
+    backend: CodecBackend,
+) -> Result<CompressedStream, ZcompError> {
     if !data.len().is_multiple_of(VECTOR_BYTES) {
         return Err(ZcompError::PartialVector {
             len: data.len() / ty.size_bytes(),
             lanes: ty.lanes(),
         });
+    }
+    if backend == CodecBackend::Native {
+        if let Some(stream) = native::compress_to_stream(data, ty, cond, mode) {
+            return Ok(stream);
+        }
     }
     let mut w = CompressedWriter::new(ty, mode);
     for chunk in data.chunks_exact(VECTOR_BYTES) {
@@ -48,12 +75,57 @@ pub fn compress_bytes(
 ///
 /// Returns [`ZcompError::Truncated`] for a malformed stream.
 pub fn expand_bytes(stream: &CompressedStream) -> Result<Vec<u8>, ZcompError> {
-    let mut out = Vec::with_capacity(stream.vectors() * VECTOR_BYTES);
-    let mut r = stream.reader();
-    while let Some(v) = r.read_vector()? {
-        out.extend_from_slice(v.as_bytes());
-    }
+    let mut out = vec![0u8; stream.vectors() * VECTOR_BYTES];
+    expand_bytes_into(stream, &mut out)?;
     Ok(out)
+}
+
+/// Expands a stream into a caller-provided byte buffer, returning the
+/// byte count written — the zero-alloc dual of [`expand_bytes`],
+/// mirroring [`expand_f32_into`](crate::compress::expand_f32_into).
+///
+/// # Errors
+///
+/// Returns [`ZcompError::DestinationTooSmall`] if `dst` cannot hold the
+/// stream's uncompressed bytes, or [`ZcompError::Truncated`] for a
+/// malformed stream.
+pub fn expand_bytes_into(stream: &CompressedStream, dst: &mut [u8]) -> Result<usize, ZcompError> {
+    expand_bytes_into_with_backend(stream, dst, CodecBackend::detect())
+}
+
+/// Expands a stream into a caller-provided byte buffer through an
+/// explicitly chosen backend, returning the byte count written.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::DestinationTooSmall`] if `dst` cannot hold the
+/// stream's uncompressed bytes, or [`ZcompError::Truncated`] for a
+/// malformed stream.
+pub fn expand_bytes_into_with_backend(
+    stream: &CompressedStream,
+    dst: &mut [u8],
+    backend: CodecBackend,
+) -> Result<usize, ZcompError> {
+    let needed = stream.vectors() * VECTOR_BYTES;
+    if dst.len() < needed {
+        return Err(ZcompError::DestinationTooSmall {
+            needed,
+            available: dst.len(),
+        });
+    }
+    if backend == CodecBackend::Native {
+        if let Some(result) = native::expand_into(stream, &mut dst[..needed]) {
+            result?;
+            return Ok(needed);
+        }
+    }
+    let mut r = stream.reader();
+    let mut pos = 0;
+    while let Some(v) = r.read_vector()? {
+        dst[pos..pos + VECTOR_BYTES].copy_from_slice(v.as_bytes());
+        pos += VECTOR_BYTES;
+    }
+    Ok(pos)
 }
 
 /// Convenience: compression ratio of a typed buffer at the given

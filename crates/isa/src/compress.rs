@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::ccf::CompareCond;
 use crate::dtype::ElemType;
 use crate::error::ZcompError;
+use crate::native::{self, CodecBackend};
 use crate::stream::{CompressedStream, CompressedWriter, HeaderMode};
 use crate::vec512::Vec512;
 
@@ -75,7 +76,8 @@ pub fn compress_f32(data: &[f32], cond: CompareCond) -> Result<CompressedStream,
     compress_f32_with(data, cond, HeaderMode::Interleaved)
 }
 
-/// Compresses an `f32` slice with the chosen header mode.
+/// Compresses an `f32` slice with the chosen header mode, using the
+/// process-default [`CodecBackend`].
 ///
 /// # Errors
 ///
@@ -86,6 +88,25 @@ pub fn compress_f32_with(
     cond: CompareCond,
     mode: HeaderMode,
 ) -> Result<CompressedStream, ZcompError> {
+    compress_f32_with_backend(data, cond, mode, CodecBackend::detect())
+}
+
+/// Compresses an `f32` slice through an explicitly chosen backend.
+///
+/// [`CodecBackend::Native`] silently degrades to the scalar path on hosts
+/// with no supported vector extension; both backends produce byte-identical
+/// streams.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::PartialVector`] if `data.len()` is not a multiple
+/// of 16.
+pub fn compress_f32_with_backend(
+    data: &[f32],
+    cond: CompareCond,
+    mode: HeaderMode,
+    backend: CodecBackend,
+) -> Result<CompressedStream, ZcompError> {
     let _span = zcomp_trace::tracer::span("isa", "compress_f32");
     let lanes = ElemType::F32.lanes();
     if !data.len().is_multiple_of(lanes) {
@@ -94,6 +115,30 @@ pub fn compress_f32_with(
             lanes,
         });
     }
+    let stream = match backend {
+        CodecBackend::Native => {
+            match native::compress_to_stream(native::f32_as_bytes(data), ElemType::F32, cond, mode)
+            {
+                Some(stream) => stream,
+                None => compress_f32_scalar(data, cond, mode)?,
+            }
+        }
+        CodecBackend::Scalar => compress_f32_scalar(data, cond, mode)?,
+    };
+    if zcomp_trace::tracer::enabled() {
+        zcomp_trace::tracer::counter("isa.compression_ratio", stream.compression_ratio());
+        zcomp_trace::tracer::counter("isa.compressed_bytes", stream.compressed_bytes() as f64);
+    }
+    Ok(stream)
+}
+
+/// The reference lane-at-a-time writer loop (the oracle path).
+fn compress_f32_scalar(
+    data: &[f32],
+    cond: CompareCond,
+    mode: HeaderMode,
+) -> Result<CompressedStream, ZcompError> {
+    let lanes = ElemType::F32.lanes();
     let mut w = CompressedWriter::new(ElemType::F32, mode);
     // No sparsity estimate is available here, so reserve the
     // incompressible upper bound — one allocation instead of log2(n)
@@ -105,12 +150,7 @@ pub fn compress_f32_with(
         // typed error rather than panicking on a fallible stream operation.
         w.write_vector(&v, cond)?;
     }
-    let stream = w.finish();
-    if zcomp_trace::tracer::enabled() {
-        zcomp_trace::tracer::counter("isa.compression_ratio", stream.compression_ratio());
-        zcomp_trace::tracer::counter("isa.compressed_bytes", stream.compressed_bytes() as f64);
-    }
-    Ok(stream)
+    Ok(w.finish())
 }
 
 /// Expands a compressed stream back into an `f32` vector.
@@ -137,6 +177,21 @@ pub fn expand_f32(stream: &CompressedStream) -> Result<Vec<f32>, ZcompError> {
 /// Returns [`ZcompError::DestinationTooSmall`] if `dst` cannot hold the
 /// stream's elements, or [`ZcompError::Truncated`] for a malformed stream.
 pub fn expand_f32_into(stream: &CompressedStream, dst: &mut [f32]) -> Result<usize, ZcompError> {
+    expand_f32_into_with_backend(stream, dst, CodecBackend::detect())
+}
+
+/// Expands a stream into a caller-provided buffer through an explicitly
+/// chosen backend, returning the element count written.
+///
+/// # Errors
+///
+/// Returns [`ZcompError::DestinationTooSmall`] if `dst` cannot hold the
+/// stream's elements, or [`ZcompError::Truncated`] for a malformed stream.
+pub fn expand_f32_into_with_backend(
+    stream: &CompressedStream,
+    dst: &mut [f32],
+    backend: CodecBackend,
+) -> Result<usize, ZcompError> {
     let _span = zcomp_trace::tracer::span("isa", "expand_f32_into");
     let needed = stream.elements();
     if dst.len() < needed {
@@ -144,6 +199,13 @@ pub fn expand_f32_into(stream: &CompressedStream, dst: &mut [f32]) -> Result<usi
             needed,
             available: dst.len(),
         });
+    }
+    if backend == CodecBackend::Native {
+        let bytes = native::f32_as_bytes_mut(&mut dst[..needed]);
+        if let Some(result) = native::expand_into(stream, bytes) {
+            result?;
+            return Ok(needed);
+        }
     }
     let mut r = stream.reader();
     let mut pos = 0;

@@ -55,6 +55,7 @@ pub mod instr;
 pub mod integrity;
 pub mod intrinsics;
 pub mod mask;
+pub mod native;
 pub mod program;
 pub mod stream;
 pub mod uops;
@@ -68,6 +69,7 @@ pub use header::Header;
 pub use instr::{AccessKind, Instr, MemAccess};
 pub use integrity::{desync_impact, CorruptionSite, DesyncImpact, StreamChecksum, StreamRegion};
 pub use mask::LaneMask;
+pub use native::{detect_backend, native_isa, CodecBackend};
 pub use program::{BatchLane, Cursors, InstrProgram, ProgramOp, Reg};
 pub use stream::{CompressedReader, CompressedStream, CompressedWriter, HeaderMode};
 pub use uops::{Uop, UopCounts, UopKind, UopTable};

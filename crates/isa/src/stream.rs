@@ -47,6 +47,30 @@ pub struct CompressedStream {
 }
 
 impl CompressedStream {
+    /// Assembles a stream directly from its parts — the native SIMD
+    /// backend's exit point, bypassing [`CompressedWriter`].
+    ///
+    /// The caller is responsible for layout correctness (the native
+    /// backend is differentially tested against the writer for
+    /// byte-identity; see [`native`](crate::native)).
+    pub(crate) fn from_raw_parts(
+        ty: ElemType,
+        mode: HeaderMode,
+        data: Vec<u8>,
+        headers: Vec<u8>,
+        vectors: usize,
+        total_nnz: u64,
+    ) -> Self {
+        CompressedStream {
+            ty,
+            mode,
+            data,
+            headers,
+            vectors,
+            total_nnz,
+        }
+    }
+
     /// Element type of the stream.
     pub fn elem_type(&self) -> ElemType {
         self.ty

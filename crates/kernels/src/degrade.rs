@@ -31,7 +31,7 @@
 
 use serde::{Deserialize, Serialize};
 use zcomp_isa::ccf::CompareCond;
-use zcomp_isa::compress::{compress_f32_with, expand_f32};
+use zcomp_isa::compress::{compress_f32_with, expand_f32_into};
 use zcomp_isa::error::ZcompError;
 use zcomp_isa::integrity::{desync_impact, DesyncImpact, StreamChecksum, StreamRegion};
 use zcomp_isa::stream::{CompressedStream, HeaderMode};
@@ -254,7 +254,10 @@ pub fn run_layer_faulted(
     let mut fallback_extra_bytes = 0u64;
     let (outcome, output) = match valid {
         Some(view) => {
-            let out = expand_f32(&view)?;
+            // Expand into one exactly-sized buffer (the `_into` variant
+            // dispatches to the native SIMD backend when available).
+            let mut out = vec![0.0f32; view.elements()];
+            expand_f32_into(&view, &mut out)?;
             if out == y_ref {
                 let outcome = if retries > 0 {
                     LayerOutcome::Recovered
