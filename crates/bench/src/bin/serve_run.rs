@@ -1,13 +1,20 @@
 //! Open-loop serving sweep: sustainable QPS at fixed p99, compressed vs
-//! uncompressed.
+//! uncompressed — plus the chaos grid behind `--chaos`.
 //!
-//! Runs the `zcomp::serve` knee search over the serving grid (GoogLeNet
-//! and VGG-16 by default): per network, two identically-configured
-//! serving nodes — same tenants, same seeded arrival traces, same p99 SLO
-//! derived from the uncompressed solo batch latency — differing only in
-//! the feature-map scheme. The headline table reports the knee (highest
-//! sustainable offered QPS) per scheme and the compressed/uncompressed
-//! ratio.
+//! Default mode runs the `zcomp::serve` knee search over the serving grid
+//! (GoogLeNet and VGG-16 by default): per network, two
+//! identically-configured serving nodes — same tenants, same seeded
+//! arrival traces, same p99 SLO derived from the uncompressed solo batch
+//! latency — differing only in the feature-map scheme. The headline table
+//! reports the knee (highest sustainable offered QPS) per scheme and the
+//! compressed/uncompressed ratio.
+//!
+//! `--chaos` runs the resilience grid instead: per codec fault rate,
+//! three identically-loaded nodes under the same seeded instance-crash
+//! schedule — uncompressed, compressed-hard-fail, and
+//! compressed-degraded (the PR-1 retry-then-uncompressed brownout) —
+//! reporting goodput and per-class p99, plus a fixed-fleet vs autoscaled
+//! knee comparison under chaos.
 //!
 //! Cells run under the supervised sweep runtime (`run_cells`): panic
 //! quarantine, retries, `--resume`, and the multi-process lease fabric
@@ -17,19 +24,25 @@
 //!
 //! `--smoke` runs the CI gate instead: the short smoke grid twice,
 //! asserting the two runs serialize byte-identically and that the
-//! compressed knee is at least the uncompressed one.
+//! compressed knee is at least the uncompressed one; then the chaos smoke
+//! grid twice, asserting byte-identical replay under crashes + codec
+//! faults, zero request-level hard failures in degraded mode, and
+//! degraded goodput at least hard-fail goodput at every fault rate.
 //!
 //! ```text
-//! serve_run [--smoke] [--quick|--scale N] [--threads N] [--json PATH]
-//!           [--bench PATH] [--resume] [--attempts N] [--deadline-ms MS]
-//!           [--fabric-dir DIR] [--worker-id ID] [--lease-ttl-ms MS]
-//!           [--workers N] [--quiet]
+//! serve_run [--smoke] [--chaos] [--quick|--scale N] [--threads N]
+//!           [--json PATH] [--bench PATH] [--resume] [--attempts N]
+//!           [--deadline-ms MS] [--fabric-dir DIR] [--worker-id ID]
+//!           [--lease-ttl-ms MS] [--workers N] [--quiet]
 //! ```
 
 use std::process::exit;
 
 use serde::Serialize;
 use zcomp::experiments::serve::{run, run_sweep, ServeGridSpec, ServeResult};
+use zcomp::experiments::serve_chaos::{self, ChaosGridSpec, ChaosResult};
+use zcomp::serve::determinism::require_byte_identical;
+use zcomp::serve::slo::SloClass;
 use zcomp::sweep::SweepOpts;
 use zcomp_bench::{
     print_machine, print_table, reap_fabric_workers, report_supervision, save_json,
@@ -42,6 +55,7 @@ struct Args {
     json: Option<String>,
     bench: Option<String>,
     smoke: bool,
+    chaos: bool,
     quiet: bool,
     run: RunFlags,
 }
@@ -49,7 +63,7 @@ struct Args {
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: serve_run [--smoke] [--quick|--scale N] [--threads N] \
+        "usage: serve_run [--smoke] [--chaos] [--quick|--scale N] [--threads N] \
          [--json PATH] [--bench PATH] [--quiet], {}",
         RunFlags::USAGE
     );
@@ -73,6 +87,7 @@ fn parse_args() -> Args {
         json: None,
         bench: None,
         smoke: false,
+        chaos: false,
         quiet: false,
         run: RunFlags::default(),
     };
@@ -95,6 +110,7 @@ fn parse_args() -> Args {
             "--json" => out.json = Some(value_of(&mut it, "--json")),
             "--bench" => out.bench = Some(value_of(&mut it, "--bench")),
             "--smoke" => out.smoke = true,
+            "--chaos" => out.chaos = true,
             "--quiet" => out.quiet = true,
             other => usage_exit(&format!("unknown argument: {other}")),
         }
@@ -153,37 +169,144 @@ fn bench_record(result: &ServeResult, scale: usize) -> BenchRecord {
     }
 }
 
-/// CI smoke gate: run the smoke grid twice, demand byte-identical JSON
-/// and a compressed knee at least the uncompressed one.
+/// The `BENCH_serve_chaos.json` record: goodput and per-class p99 per
+/// (fault rate, mode), plus the chaos knee comparison.
+#[derive(Serialize)]
+struct ChaosBenchRecord {
+    benchmark: &'static str,
+    scale: usize,
+    rows: Vec<ChaosBenchRow>,
+    fixed_knee_qps: f64,
+    autoscaled_knee_qps: f64,
+}
+
+#[derive(Serialize)]
+struct ChaosBenchRow {
+    fault_rate: f64,
+    mode: String,
+    goodput_qps: f64,
+    p99_interactive_ms: f64,
+    p99_batch_ms: f64,
+    completed: u64,
+    failed: u64,
+    codec_fallbacks: u64,
+    crashes: u64,
+}
+
+fn chaos_bench_record(result: &ChaosResult, scale: usize) -> ChaosBenchRecord {
+    let class_p99_ms = |p: &zcomp::serve::engine::RatePoint, class: SloClass| {
+        p.classes
+            .iter()
+            .find(|c| c.class == class)
+            .map_or(0.0, |c| c.p99_us / 1_000.0)
+    };
+    let rows = result
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            cell.point.as_ref().map(|p| ChaosBenchRow {
+                fault_rate: cell.fault_rate,
+                mode: cell.mode.label().to_string(),
+                goodput_qps: p.goodput_qps,
+                p99_interactive_ms: class_p99_ms(p, SloClass::Interactive),
+                p99_batch_ms: class_p99_ms(p, SloClass::Batch),
+                completed: p.completed,
+                failed: p.failed,
+                codec_fallbacks: p.codec_fallbacks,
+                crashes: p.crashes,
+            })
+        })
+        .collect();
+    ChaosBenchRecord {
+        benchmark: "serve_chaos",
+        scale,
+        rows,
+        fixed_knee_qps: result.autoscale.fixed.as_ref().map_or(0.0, |c| c.knee_qps),
+        autoscaled_knee_qps: result
+            .autoscale
+            .autoscaled
+            .as_ref()
+            .map_or(0.0, |c| c.knee_qps),
+    }
+}
+
+/// One OK/FAIL line; returns 1 on failure so callers can sum.
+fn check(ok: bool, ok_msg: &str, fail_msg: &str) -> u32 {
+    if ok {
+        println!("OK   {ok_msg}");
+        0
+    } else {
+        println!("FAIL {fail_msg}");
+        1
+    }
+}
+
+/// CI smoke gate: the knee smoke grid twice (byte-identical, compressed
+/// knee >= uncompressed), then the chaos smoke grid twice (byte-identical
+/// under crashes + codec faults, degraded mode never hard-fails, degraded
+/// goodput >= hard-fail goodput).
 fn smoke() -> ! {
+    let mut failures = 0;
+
     let grid = ServeGridSpec::smoke_grid();
     let first = run(&grid);
     let second = run(&grid);
-    let a = serde_json::to_string(&first.rows).expect("serializable result");
-    let b = serde_json::to_string(&second.rows).expect("serializable result");
     print_table(&first.table());
-    let mut failures = 0;
-    if a == b {
-        println!("OK   re-execution is byte-identical ({} bytes)", a.len());
-    } else {
-        println!("FAIL re-execution differs");
-        failures += 1;
-    }
-    for row in &first.rows {
-        let (un, co) = (row.uncompressed.knee_qps, row.compressed.knee_qps);
-        if un > 0.0 && co >= un {
-            println!(
-                "OK   {}: compressed knee {:.1} qps >= uncompressed {:.1} qps",
-                row.model, co, un
-            );
-        } else {
-            println!(
-                "FAIL {}: compressed knee {:.1} qps vs uncompressed {:.1} qps",
-                row.model, co, un
-            );
+    match require_byte_identical(&first.rows, &second.rows) {
+        Ok(()) => println!("OK   serve re-execution is byte-identical"),
+        Err(e) => {
+            println!("FAIL serve re-execution differs: {e}");
             failures += 1;
         }
     }
+    for row in &first.rows {
+        let (un, co) = (row.uncompressed.knee_qps, row.compressed.knee_qps);
+        failures += check(
+            un > 0.0 && co >= un,
+            &format!(
+                "{}: compressed knee {:.1} qps >= uncompressed {:.1} qps",
+                row.model, co, un
+            ),
+            &format!(
+                "{}: compressed knee {:.1} qps vs uncompressed {:.1} qps",
+                row.model, co, un
+            ),
+        );
+    }
+
+    let chaos_grid = ChaosGridSpec::smoke_grid();
+    let chaos_first = serve_chaos::run(&chaos_grid);
+    let chaos_second = serve_chaos::run(&chaos_grid);
+    print_table(&chaos_first.table());
+    match require_byte_identical(&chaos_first, &chaos_second) {
+        Ok(()) => println!("OK   chaos re-execution is byte-identical (crashes + codec faults)"),
+        Err(e) => {
+            println!("FAIL chaos re-execution differs: {e}");
+            failures += 1;
+        }
+    }
+    let crashes: u64 = chaos_first
+        .cells
+        .iter()
+        .filter_map(|c| c.point.as_ref())
+        .map(|p| p.crashes)
+        .sum();
+    failures += check(
+        crashes > 0,
+        &format!("chaos crash process ran ({crashes} crashes across the grid)"),
+        "chaos grid saw no crashes — the chaos process did not run",
+    );
+    failures += check(
+        chaos_first.degraded_never_hard_fails(),
+        "degraded mode hard-failed zero requests",
+        "degraded mode hard-failed requests — the brownout path leaked failures",
+    );
+    failures += check(
+        chaos_first.degraded_goodput_dominates(),
+        "degraded goodput >= hard-fail goodput at every fault rate",
+        "hard-fail goodput beat degraded goodput at some fault rate",
+    );
+
     if failures > 0 {
         println!("serve smoke: {failures} check(s) FAILED");
         exit(1);
@@ -192,18 +315,60 @@ fn smoke() -> ! {
     exit(0);
 }
 
+fn chaos_main(args: &Args, threads: usize) -> ! {
+    let grid = ChaosGridSpec::default_grid().scaled(args.scale);
+    println!(
+        "chaos sweep: {} fault rates x {} modes + 2 knee cells, {} tenants, {} arrivals/tenant, {} threads",
+        grid.fault_rates.len(),
+        serve_chaos::MODES.len(),
+        grid.params.tenants,
+        grid.params.arrivals_per_tenant,
+        threads
+    );
+    let opts = args.run.apply(SweepOpts::default().with_threads(threads));
+    let siblings = spawn_fabric_workers(&args.run);
+    let out = match serve_chaos::run_sweep(&grid, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            reap_fabric_workers(siblings);
+            sweep_error_exit(&e);
+        }
+    };
+    reap_fabric_workers(siblings);
+
+    print_table(&out.result.table());
+    print_table(&out.result.autoscale_table());
+    if out.result.degraded_never_hard_fails() && out.result.degraded_goodput_dominates() {
+        println!(
+            "degrade policy held: zero hard failures, goodput >= hard-fail at every fault rate"
+        );
+    } else {
+        println!("warning: degrade policy did not dominate hard-fail on this grid");
+    }
+    if let Some(path) = &args.json {
+        save_json(path, &out.result);
+    }
+    if let Some(path) = &args.bench {
+        save_json(path, &chaos_bench_record(&out.result, args.scale));
+    }
+    exit(report_supervision(&out.supervision));
+}
+
 fn main() {
     let args = parse_args();
     if args.smoke {
         smoke();
     }
     print_machine();
-    let grid = ServeGridSpec::default_grid().scaled(args.scale);
     let threads = if args.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         args.threads
     };
+    if args.chaos {
+        chaos_main(&args, threads);
+    }
+    let grid = ServeGridSpec::default_grid().scaled(args.scale);
     println!(
         "serving sweep: {} networks x 2 schemes, {} tenants, {} arrivals/tenant, {} threads",
         grid.networks.len(),

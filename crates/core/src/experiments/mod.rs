@@ -14,5 +14,6 @@ pub mod fig12;
 pub mod fig15;
 pub mod fullnet;
 pub mod serve;
+pub mod serve_chaos;
 pub mod sweeps;
 pub mod thread_sweep;

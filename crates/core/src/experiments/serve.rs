@@ -21,7 +21,7 @@ use zcomp_replay::config_fingerprint;
 use zcomp_sim::config::SimConfig;
 
 use crate::report::Table;
-use crate::serve::knee::{derive_slo, find_knee, KneeOpts, ServeCurve};
+use crate::serve::knee::{derive_slo, find_knee, KneeOpts, KneeOutcome, ServeCurve};
 use crate::serve::service::ServiceModel;
 use crate::serve::ServeConfig;
 use crate::supervise::{CellFailure, CellOutcome};
@@ -228,6 +228,7 @@ fn empty_curve(model: ModelId, scheme: Scheme) -> ServeCurve {
         slo_p99_us: 0.0,
         capacity_estimate_qps: 0.0,
         knee_qps: 0.0,
+        outcome: KneeOutcome::Infeasible,
         points: Vec::new(),
     }
 }

@@ -1,0 +1,193 @@
+//! Reactive autoscaler: instance count tracks queue depth with
+//! hysteresis and a cold-start delay.
+//!
+//! The autoscaler is evaluated on a fixed simulated-time cadence. Each
+//! evaluation looks at one signal — total queued requests per enabled
+//! instance — and moves the enabled-instance count one step at a time:
+//!
+//! * **Scale up** immediately when depth-per-instance exceeds the high
+//!   watermark (queues grow fast past the knee; waiting costs tail
+//!   latency). The new instance only starts serving after the cold-start
+//!   delay, which is what makes overload + autoscaling interesting: the
+//!   capacity you ask for under pressure arrives late.
+//! * **Scale down** only after the depth has sat below the low watermark
+//!   for `down_after_evals` consecutive evaluations (hysteresis, so a
+//!   bursty tenant's off-period does not flap the fleet), and only by
+//!   disabling an instance that is currently idle.
+//!
+//! The state machine is pure integer/float arithmetic on the simulated
+//! clock — deterministic by construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Autoscaler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Fleet floor (never scale below).
+    pub min_instances: usize,
+    /// Fleet ceiling (never scale above; also sizes the engine's
+    /// instance-slot vector).
+    pub max_instances: usize,
+    /// Scale up when queued requests per enabled instance exceed this.
+    pub hi_depth_per_instance: f64,
+    /// Scale down only while queued requests per enabled instance stay
+    /// below this.
+    pub lo_depth_per_instance: f64,
+    /// Evaluation cadence, simulated nanoseconds.
+    pub eval_interval_ns: u64,
+    /// Delay before a newly enabled instance can serve, nanoseconds.
+    pub cold_start_ns: u64,
+    /// Consecutive below-low evaluations required before one scale-down.
+    pub down_after_evals: u32,
+}
+
+impl AutoscaleConfig {
+    /// Checks the knobs the engine assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty instance range, inverted watermarks, or a zero
+    /// evaluation interval.
+    pub fn validate(&self) {
+        assert!(
+            self.min_instances >= 1 && self.min_instances <= self.max_instances,
+            "instance range must satisfy 1 <= min <= max"
+        );
+        assert!(
+            self.lo_depth_per_instance < self.hi_depth_per_instance,
+            "watermarks must satisfy lo < hi"
+        );
+        assert!(self.eval_interval_ns > 0, "eval interval must be positive");
+        assert!(self.down_after_evals >= 1, "down_after_evals must be >= 1");
+    }
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min_instances: 1,
+            max_instances: 8,
+            hi_depth_per_instance: 8.0,
+            lo_depth_per_instance: 1.0,
+            eval_interval_ns: 2_000_000, // 2 ms
+            cold_start_ns: 10_000_000,   // 10 ms
+            down_after_evals: 5,
+        }
+    }
+}
+
+/// One autoscaler verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Enable one more instance.
+    Up,
+    /// Disable one idle instance.
+    Down,
+    /// Leave the fleet as is.
+    Hold,
+}
+
+/// Runtime autoscaler state machine.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscaleConfig,
+    low_streak: u32,
+}
+
+impl Autoscaler {
+    /// Builds the state machine (validating the config).
+    pub fn new(cfg: AutoscaleConfig) -> Self {
+        cfg.validate();
+        Autoscaler { cfg, low_streak: 0 }
+    }
+
+    /// Configured knobs.
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.cfg
+    }
+
+    /// One evaluation: `queued` requests across all tenants, `enabled`
+    /// instances currently in the fleet (up or crashed — the autoscaler
+    /// manages capacity it *asked for*, not capacity chaos took away).
+    pub fn decide(&mut self, queued: usize, enabled: usize) -> ScaleDecision {
+        let per_instance = queued as f64 / enabled.max(1) as f64;
+        if per_instance > self.cfg.hi_depth_per_instance {
+            self.low_streak = 0;
+            if enabled < self.cfg.max_instances {
+                return ScaleDecision::Up;
+            }
+        } else if per_instance < self.cfg.lo_depth_per_instance {
+            if enabled > self.cfg.min_instances {
+                self.low_streak += 1;
+                if self.low_streak >= self.cfg.down_after_evals {
+                    self.low_streak = 0;
+                    return ScaleDecision::Down;
+                }
+            } else {
+                self.low_streak = 0;
+            }
+        } else {
+            self.low_streak = 0;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler(down_after: u32) -> Autoscaler {
+        Autoscaler::new(AutoscaleConfig {
+            min_instances: 1,
+            max_instances: 4,
+            hi_depth_per_instance: 8.0,
+            lo_depth_per_instance: 1.0,
+            down_after_evals: down_after,
+            ..AutoscaleConfig::default()
+        })
+    }
+
+    #[test]
+    fn deep_queues_scale_up_until_the_ceiling() {
+        let mut s = scaler(3);
+        assert_eq!(s.decide(100, 2), ScaleDecision::Up);
+        assert_eq!(s.decide(100, 3), ScaleDecision::Up);
+        assert_eq!(s.decide(100, 4), ScaleDecision::Hold, "at max");
+    }
+
+    #[test]
+    fn scale_down_needs_a_sustained_low_streak() {
+        let mut s = scaler(3);
+        assert_eq!(s.decide(0, 3), ScaleDecision::Hold);
+        assert_eq!(s.decide(0, 3), ScaleDecision::Hold);
+        assert_eq!(s.decide(0, 3), ScaleDecision::Down, "third low eval");
+        assert_eq!(s.decide(0, 2), ScaleDecision::Hold, "streak restarts");
+    }
+
+    #[test]
+    fn mid_band_resets_the_streak() {
+        let mut s = scaler(2);
+        assert_eq!(s.decide(0, 2), ScaleDecision::Hold);
+        assert_eq!(s.decide(8, 2), ScaleDecision::Hold, "4/instance: mid band");
+        assert_eq!(s.decide(0, 2), ScaleDecision::Hold, "streak was reset");
+        assert_eq!(s.decide(0, 2), ScaleDecision::Down);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let mut s = scaler(1);
+        assert_eq!(s.decide(0, 1), ScaleDecision::Hold);
+        assert_eq!(s.decide(0, 1), ScaleDecision::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn inverted_watermarks_panic() {
+        Autoscaler::new(AutoscaleConfig {
+            hi_depth_per_instance: 1.0,
+            lo_depth_per_instance: 2.0,
+            ..AutoscaleConfig::default()
+        });
+    }
+}

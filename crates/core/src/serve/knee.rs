@@ -41,6 +41,34 @@ impl Default for KneeOpts {
     }
 }
 
+/// How the knee search terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KneeOutcome {
+    /// The doubling scan bracketed an unsustainable rate and bisection
+    /// converged — `knee_qps` is a real capacity estimate.
+    Converged,
+    /// Every probed rate stayed sustainable through `max_scan_steps`
+    /// doublings: `knee_qps` is only a *lower bound*. The scan used to
+    /// silently saturate here and report the last probe as the knee; the
+    /// outcome makes the unfinished bracket visible so callers can widen
+    /// the scan instead of publishing a too-small capacity.
+    Unbounded,
+    /// No probed rate was sustainable, even after halving down
+    /// `max_scan_steps` times — `knee_qps` is zero.
+    Infeasible,
+}
+
+impl KneeOutcome {
+    /// Short stable label for tables and JSON-adjacent text.
+    pub fn label(self) -> &'static str {
+        match self {
+            KneeOutcome::Converged => "converged",
+            KneeOutcome::Unbounded => "unbounded",
+            KneeOutcome::Infeasible => "infeasible",
+        }
+    }
+}
+
 /// A full rate-sweep curve for one (model, scheme) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeCurve {
@@ -55,6 +83,9 @@ pub struct ServeCurve {
     pub capacity_estimate_qps: f64,
     /// Highest sustainable offered QPS found.
     pub knee_qps: f64,
+    /// Whether the search converged, saturated its scan (knee is a lower
+    /// bound), or found nothing sustainable.
+    pub outcome: KneeOutcome,
     /// Every rate point probed, sorted by offered QPS.
     pub points: Vec<RatePoint>,
 }
@@ -118,7 +149,7 @@ pub fn find_knee(cfg: &ServeConfig, service: &mut ServiceModel, opts: &KneeOpts)
         }
     }
 
-    let knee = match (lo, hi) {
+    let (knee, outcome) = match (lo, hi) {
         (Some(mut lo), Some(mut hi)) => {
             for _ in 0..opts.bisect_iters {
                 let mid = (lo * hi).sqrt();
@@ -128,13 +159,14 @@ pub fn find_knee(cfg: &ServeConfig, service: &mut ServiceModel, opts: &KneeOpts)
                     hi = mid;
                 }
             }
-            lo
+            (lo, KneeOutcome::Converged)
         }
         // Never became unsustainable within the scan: the last
-        // sustainable rate is the (conservative) knee.
-        (Some(lo), None) => lo,
+        // sustainable rate is only a lower bound — surface that instead
+        // of silently saturating.
+        (Some(lo), None) => (lo, KneeOutcome::Unbounded),
         // Nothing sustainable at any probed rate.
-        (None, _) => 0.0,
+        (None, _) => (0.0, KneeOutcome::Infeasible),
     };
 
     points.sort_by(|a, b| a.offered_qps.total_cmp(&b.offered_qps));
@@ -144,6 +176,7 @@ pub fn find_knee(cfg: &ServeConfig, service: &mut ServiceModel, opts: &KneeOpts)
         slo_p99_us: cfg.slo_ns as f64 / 1_000.0,
         capacity_estimate_qps: capacity,
         knee_qps: knee,
+        outcome,
         points,
     }
 }
@@ -153,20 +186,20 @@ mod tests {
     use std::collections::BTreeMap;
 
     use super::super::arrival::ArrivalShape;
+    use super::super::determinism::require_byte_identical;
     use super::super::service::ServiceProfile;
+    use super::super::slo::SloClass;
     use super::super::TenantSpec;
     use super::*;
 
-    #[test]
-    fn knee_lands_between_half_and_full_capacity() {
-        // 1 ms fixed batches, 2 instances, no batching: ideal capacity
-        // 2000 qps. The knee must land in a sane band below it.
+    fn one_ms_cfg() -> (ServeConfig, impl Fn() -> ServiceModel) {
         let mut cfg = ServeConfig::new(ModelId::Googlenet, Scheme::None, 1);
         cfg.instances = 2;
         cfg.arrivals_per_tenant = 500;
         cfg.tenants = vec![TenantSpec {
             shape: ArrivalShape::Poisson,
             weight: 1.0,
+            class: SloClass::Interactive,
         }];
         let mut profiles = BTreeMap::new();
         profiles.insert(
@@ -177,7 +210,15 @@ mod tests {
                 noc_bytes: 0.0,
             },
         );
-        let make_service = || ServiceModel::fixed(1.0e9, 1.0, 1.0, profiles.clone());
+        let make_service = move || ServiceModel::fixed(1.0e9, 1.0, 1.0, profiles.clone());
+        (cfg, make_service)
+    }
+
+    #[test]
+    fn knee_lands_between_half_and_full_capacity() {
+        // 1 ms fixed batches, 2 instances, no batching: ideal capacity
+        // 2000 qps. The knee must land in a sane band below it.
+        let (mut cfg, make_service) = one_ms_cfg();
         let (slo, wait) = derive_slo(&mut make_service(), 1, 3.0);
         cfg.slo_ns = slo;
         cfg.max_wait_ns = wait;
@@ -186,6 +227,7 @@ mod tests {
         let mut service = make_service();
         let curve = find_knee(&cfg, &mut service, &KneeOpts::default());
         assert!((curve.capacity_estimate_qps - 2000.0).abs() < 1.0);
+        assert_eq!(curve.outcome, KneeOutcome::Converged);
         assert!(
             curve.knee_qps > 400.0 && curve.knee_qps <= 2100.0,
             "knee {}",
@@ -198,9 +240,47 @@ mod tests {
 
         // Byte-identical re-run.
         let again = find_knee(&cfg, &mut make_service(), &KneeOpts::default());
-        assert_eq!(
-            serde_json::to_string(&curve).unwrap(),
-            serde_json::to_string(&again).unwrap()
+        require_byte_identical(&curve, &again).expect("knee search must replay byte-identically");
+    }
+
+    #[test]
+    fn saturated_scan_reports_unbounded_not_a_knee() {
+        // One doubling step from 5% of capacity can never reach the
+        // saturation point: the scan must say so instead of passing the
+        // last probe off as the knee.
+        let (mut cfg, make_service) = one_ms_cfg();
+        let (slo, wait) = derive_slo(&mut make_service(), 1, 3.0);
+        cfg.slo_ns = slo;
+        cfg.max_wait_ns = wait;
+        let opts = KneeOpts {
+            max_scan_steps: 1,
+            ..KneeOpts::default()
+        };
+        let curve = find_knee(&cfg, &mut make_service(), &opts);
+        assert_eq!(curve.outcome, KneeOutcome::Unbounded);
+        assert!(
+            curve.knee_qps < curve.capacity_estimate_qps / 2.0,
+            "the reported lower bound ({}) is far from capacity ({})",
+            curve.knee_qps,
+            curve.capacity_estimate_qps
         );
+    }
+
+    #[test]
+    fn impossible_slo_reports_infeasible() {
+        let (mut cfg, make_service) = one_ms_cfg();
+        // 1 ms service time against a 1 µs SLO: nothing can ever pass.
+        cfg.slo_ns = 1_000;
+        cfg.max_wait_ns = 250;
+        let curve = find_knee(&cfg, &mut make_service(), &KneeOpts::default());
+        assert_eq!(curve.outcome, KneeOutcome::Infeasible);
+        assert_eq!(curve.knee_qps, 0.0);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(KneeOutcome::Converged.label(), "converged");
+        assert_eq!(KneeOutcome::Unbounded.label(), "unbounded");
+        assert_eq!(KneeOutcome::Infeasible.label(), "infeasible");
     }
 }

@@ -25,30 +25,56 @@
 //! * [`knee`] sweeps the offered rate and bisects the *knee*: the highest
 //!   QPS whose p99 stays under the SLO with negligible drops.
 //!
-//! The grid experiment on top lives in
-//! [`crate::experiments::serve`]; the CLI driver is the `serve_run`
+//! The resilience layer (see DESIGN.md "Serving resilience") sits on top:
+//!
+//! * [`slo`] — per-tenant SLO classes and the strict-priority +
+//!   weighted-deficit batching scheduler.
+//! * [`admission`] — per-tenant token-bucket rate limiting with
+//!   capped-exponential retry-after hints, class-bounded queues, and the
+//!   deadline-aware shedder policy.
+//! * [`chaos`] — seeded instance crash/recovery schedules plus codec
+//!   faults resolved through the PR-1 retry-then-uncompressed policy.
+//! * [`autoscale`] — a reactive instance-count controller with
+//!   hysteresis and cold-start delay.
+//! * [`determinism`] — non-panicking byte-identity self-checks for the
+//!   "same seed ⇒ same report" invariant.
+//!
+//! The grid experiments on top live in [`crate::experiments::serve`] and
+//! [`crate::experiments::serve_chaos`]; the CLI driver is the `serve_run`
 //! binary in `zcomp-bench`.
 
+pub mod admission;
 pub mod arrival;
+pub mod autoscale;
+pub mod chaos;
+pub mod determinism;
 pub mod engine;
 pub mod knee;
 pub mod service;
+pub mod slo;
 
 use serde::{Deserialize, Serialize};
 use zcomp_dnn::models::ModelId;
 use zcomp_kernels::layer_exec::Scheme;
 use zcomp_sim::config::SimConfig;
 
+use admission::AdmissionConfig;
 use arrival::ArrivalShape;
+use autoscale::AutoscaleConfig;
+use chaos::ChaosConfig;
+use slo::SloClass;
 
-/// One tenant of the serving node: an arrival shape plus the share of the
-/// total offered rate it receives.
+/// One tenant of the serving node: an arrival shape, the share of the
+/// total offered rate it receives, and its SLO class.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TenantSpec {
     /// Arrival trace shape.
     pub shape: ArrivalShape,
     /// Relative share of the total offered QPS (normalized over tenants).
     pub weight: f64,
+    /// Service class: scheduling priority, queue bound and deadline
+    /// budget (see [`slo::SloClass`]).
+    pub class: SloClass,
 }
 
 /// Full configuration of one serving simulation (one model, one scheme,
@@ -93,6 +119,14 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Simulated machine.
     pub sim: SimConfig,
+    /// Admission control: token-bucket rate limiting and deadline
+    /// shedding (defaults to the permissive PR-8 policy).
+    pub admission: AdmissionConfig,
+    /// Chaos process: instance crashes and codec faults. `None` runs a
+    /// healthy fleet.
+    pub chaos: Option<ChaosConfig>,
+    /// Reactive autoscaler. `None` keeps the fleet fixed at `instances`.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl ServeConfig {
@@ -109,6 +143,7 @@ impl ServeConfig {
                 TenantSpec {
                     shape: ArrivalShape::Poisson,
                     weight: 0.5,
+                    class: SloClass::Interactive,
                 },
                 TenantSpec {
                     shape: ArrivalShape::Bursty {
@@ -116,6 +151,7 @@ impl ServeConfig {
                         mean_on_arrivals: 12.0,
                     },
                     weight: 0.3,
+                    class: SloClass::Batch,
                 },
                 TenantSpec {
                     shape: ArrivalShape::Diurnal {
@@ -123,6 +159,7 @@ impl ServeConfig {
                         periods: 2.0,
                     },
                     weight: 0.2,
+                    class: SloClass::BestEffort,
                 },
             ],
             instances: 4,
@@ -137,6 +174,9 @@ impl ServeConfig {
             drop_tolerance: 0.01,
             seed: 0x5eed_5e12e,
             sim: SimConfig::table1(),
+            admission: AdmissionConfig::permissive(),
+            chaos: None,
+            autoscale: None,
         }
     }
 
@@ -173,6 +213,25 @@ impl ServeConfig {
         );
         assert!(self.arrivals_per_tenant > 0, "arrivals required");
         assert!(self.drift_epochs >= 1, "at least one drift epoch");
+        self.admission.validate();
+        if let Some(chaos) = &self.chaos {
+            chaos.validate();
+        }
+        if let Some(scale) = &self.autoscale {
+            scale.validate();
+            assert!(
+                self.instances >= scale.min_instances && self.instances <= scale.max_instances,
+                "instances must start inside the autoscale range"
+            );
+        }
+    }
+
+    /// Instance slots the engine allocates: the configured fleet, plus
+    /// headroom up to the autoscaler's ceiling.
+    pub fn instance_slots(&self) -> usize {
+        self.autoscale
+            .as_ref()
+            .map_or(self.instances, |s| s.max_instances.max(self.instances))
     }
 
     /// Total arrivals generated across tenants at one rate point.

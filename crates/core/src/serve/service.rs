@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use zcomp_dnn::network::Network;
 use zcomp_dnn::sparsity::{SparsityModel, TenantDrift};
 use zcomp_isa::uops::UopTable;
+use zcomp_kernels::layer_exec::Scheme;
 use zcomp_kernels::network_exec::{run_network, NetworkExecOpts};
 use zcomp_sim::engine::Machine;
 
@@ -61,8 +62,12 @@ enum Backend {
         nets: BTreeMap<usize, Network>,
     },
     /// Fixed profiles per padded batch size — unit-test backend, no
-    /// simulator in the loop.
-    Fixed(BTreeMap<usize, ServiceProfile>),
+    /// simulator in the loop. Fallback (uncompressed) costs scale the
+    /// primary profile by `fallback_scale`.
+    Fixed {
+        profiles: BTreeMap<usize, ServiceProfile>,
+        fallback_scale: f64,
+    },
 }
 
 /// Memoizing service-time model shared by all instances of one node.
@@ -75,6 +80,9 @@ pub struct ServiceModel {
     threads: usize,
     backend: Backend,
     memo: BTreeMap<(usize, usize, usize), ServiceProfile>,
+    /// Uncompressed-fallback profiles for degraded batches (only
+    /// populated when the chaos path asks for them).
+    fallback_memo: BTreeMap<(usize, usize, usize), ServiceProfile>,
 }
 
 impl ServiceModel {
@@ -102,6 +110,7 @@ impl ServiceModel {
                 nets: BTreeMap::new(),
             },
             memo: BTreeMap::new(),
+            fallback_memo: BTreeMap::new(),
         }
     }
 
@@ -117,21 +126,63 @@ impl ServiceModel {
             dram_budget,
             noc_budget,
             threads: 1,
-            backend: Backend::Fixed(profiles),
+            backend: Backend::Fixed {
+                profiles,
+                fallback_scale: 1.0,
+            },
             memo: BTreeMap::new(),
+            fallback_memo: BTreeMap::new(),
         }
     }
 
-    /// Solo profile for a batch, simulating on first use.
-    fn profile(&mut self, tenant: usize, epoch: usize, padded: usize) -> ServiceProfile {
+    /// Scales the test backend's uncompressed-fallback profiles relative
+    /// to the primary ones (no-op for the network backend, which prices
+    /// fallback by actually re-running under [`Scheme::None`]).
+    pub fn with_fallback_scale(mut self, scale: f64) -> ServiceModel {
+        if let Backend::Fixed { fallback_scale, .. } = &mut self.backend {
+            *fallback_scale = scale;
+        }
+        self
+    }
+
+    /// Solo profile for a batch, simulating on first use. With
+    /// `fallback`, prices the batch under [`Scheme::None`] — the cost of
+    /// the degraded (uncompressed) service a faulted stream browns out
+    /// to.
+    fn profile_at(
+        &mut self,
+        tenant: usize,
+        epoch: usize,
+        padded: usize,
+        fallback: bool,
+    ) -> ServiceProfile {
         let key = (tenant, epoch, padded);
-        if let Some(&p) = self.memo.get(&key) {
+        let memo = if fallback {
+            &self.fallback_memo
+        } else {
+            &self.memo
+        };
+        if let Some(&p) = memo.get(&key) {
             return p;
         }
         let profile = match &mut self.backend {
-            Backend::Fixed(map) => *map
-                .get(&padded)
-                .unwrap_or_else(|| panic!("no fixed profile for padded batch {padded}")),
+            Backend::Fixed {
+                profiles,
+                fallback_scale,
+            } => {
+                let base = *profiles
+                    .get(&padded)
+                    .unwrap_or_else(|| panic!("no fixed profile for padded batch {padded}"));
+                if fallback {
+                    ServiceProfile {
+                        base_cycles: base.base_cycles * *fallback_scale,
+                        dram_bytes: base.dram_bytes * *fallback_scale,
+                        noc_bytes: base.noc_bytes * *fallback_scale,
+                    }
+                } else {
+                    base
+                }
+            }
             Backend::Network { cfg, tenants, nets } => {
                 let _span = zcomp_trace::serve::profile_span();
                 let net = nets
@@ -139,12 +190,13 @@ impl ServiceModel {
                     .or_insert_with(|| cfg.model.build(padded));
                 let sparsity = tenants[tenant].profile(net, epoch);
                 let mut machine = Machine::new(cfg.sim.clone(), UopTable::skylake_x());
+                let scheme = if fallback { Scheme::None } else { cfg.scheme };
                 let result = run_network(
                     &mut machine,
                     net,
                     &sparsity,
                     &NetworkExecOpts {
-                        scheme: cfg.scheme,
+                        scheme,
                         training: false,
                         threads: self.threads,
                         ..NetworkExecOpts::default()
@@ -157,7 +209,11 @@ impl ServiceModel {
                 }
             }
         };
-        self.memo.insert(key, profile);
+        if fallback {
+            self.fallback_memo.insert(key, profile);
+        } else {
+            self.memo.insert(key, profile);
+        }
         profile
     }
 
@@ -171,9 +227,34 @@ impl ServiceModel {
         batch: usize,
         busy: usize,
     ) -> BatchCost {
+        self.cost_at(tenant, epoch, batch, busy, false)
+    }
+
+    /// Cost of the same batch served through the *uncompressed* fallback
+    /// path (the brownout a persistently faulted compressed stream
+    /// degrades to). Identical contention model, [`Scheme::None`]
+    /// profile.
+    pub fn fallback_batch_cost(
+        &mut self,
+        tenant: usize,
+        epoch: usize,
+        batch: usize,
+        busy: usize,
+    ) -> BatchCost {
+        self.cost_at(tenant, epoch, batch, busy, true)
+    }
+
+    fn cost_at(
+        &mut self,
+        tenant: usize,
+        epoch: usize,
+        batch: usize,
+        busy: usize,
+        fallback: bool,
+    ) -> BatchCost {
         assert!(batch >= 1, "empty batch");
         let padded = batch.next_power_of_two();
-        let p = self.profile(tenant, epoch, padded);
+        let p = self.profile_at(tenant, epoch, padded, fallback);
         let k = busy.max(1) as f64;
         let dram_cycles = p.dram_bytes / self.dram_budget;
         let noc_cycles = p.noc_bytes / self.noc_budget;

@@ -1,0 +1,250 @@
+//! Property-based tests on the class-aware batching scheduler and the
+//! serving engine's overload accounting.
+//!
+//! Pins the three invariants the resilience layer leans on:
+//!
+//! 1. **Max-wait**: no admitted batch dispatches later than its head's
+//!    flush deadline or the moment capacity freed up, whichever is later
+//!    — partial batches wait for the deadline or for an instance, never
+//!    longer (checked against the engine's own [`BatchAudit`] trail).
+//! 2. **Priority**: the pure class scheduler never inverts strict
+//!    priority at identical arrival times, whatever deficit history
+//!    preceded the pick.
+//! 3. **Accounting**: every generated request ends in exactly one
+//!    terminal bucket — completed, dropped, rejected, shed, hard-failed
+//!    or stranded — under any mix of admission control, chaos and
+//!    degradation policy, and the per-class rows partition the totals.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use zcomp::serve::admission::AdmissionConfig;
+use zcomp::serve::arrival::ArrivalShape;
+use zcomp::serve::chaos::{ChaosConfig, DegradePolicy};
+use zcomp::serve::engine::{simulate, simulate_audited, RatePoint};
+use zcomp::serve::service::{ServiceModel, ServiceProfile};
+use zcomp::serve::slo::{ClassScheduler, ReadyTenant, SloClass};
+use zcomp::serve::{ServeConfig, TenantSpec};
+use zcomp_dnn::models::ModelId;
+use zcomp_kernels::layer_exec::Scheme;
+
+fn class_from(idx: usize) -> SloClass {
+    SloClass::ALL[idx % SloClass::ALL.len()]
+}
+
+/// A flat-cost service: every padded batch size costs `batch_us`
+/// microseconds at a 1 GHz clock, no shared-bandwidth terms. Keeps each
+/// proptest case in the microsecond-simulation regime.
+fn flat_service(batch_us: f64) -> ServiceModel {
+    let mut profiles = BTreeMap::new();
+    for padded in [1usize, 2, 4, 8] {
+        profiles.insert(
+            padded,
+            ServiceProfile {
+                base_cycles: batch_us * 1_000.0,
+                dram_bytes: 0.0,
+                noc_bytes: 0.0,
+            },
+        );
+    }
+    ServiceModel::fixed(1.0e9, 1.0, 1.0, profiles)
+}
+
+/// A serving node over the flat-cost service: random tenant classes,
+/// 0.5 ms batches, 4 ms SLO, 1 ms flush deadline.
+fn flat_config(
+    scheme: Scheme,
+    instances: usize,
+    max_batch: usize,
+    arrivals: usize,
+    class_seed: usize,
+    tenants: usize,
+    seed: u64,
+) -> ServeConfig {
+    let mut cfg = ServeConfig::new(ModelId::Googlenet, scheme, max_batch);
+    cfg.instances = instances;
+    cfg.arrivals_per_tenant = arrivals;
+    cfg.drift_epochs = 1;
+    cfg.queue_cap = 64;
+    cfg.slo_ns = 4_000_000;
+    cfg.max_wait_ns = 1_000_000;
+    cfg.seed = seed;
+    cfg.tenants = (0..tenants)
+        .map(|t| TenantSpec {
+            shape: ArrivalShape::Poisson,
+            weight: 1.0 + t as f64,
+            class: class_from(class_seed + t),
+        })
+        .collect();
+    cfg
+}
+
+/// The six terminal buckets of one rate point.
+fn accounted(p: &RatePoint) -> u64 {
+    p.completed + p.dropped + p.rejected + p.shed + p.failed + p.stranded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No admitted batch outlives its flush deadline while capacity is
+    /// free: every non-full batch dispatches by
+    /// `max(head + max_wait, free_since)` (± one event tick), where
+    /// `free_since` is when the dispatching instance last became idle and
+    /// serving-capable.
+    #[test]
+    fn admitted_batches_never_outwait_the_flush_deadline(
+        seed in 0u64..(1 << 48),
+        qps in 200.0f64..4_000.0,
+        batch_pow in 0u32..3,
+        instances in 1usize..4,
+        class_seed in 0usize..9,
+        tenants in 1usize..4,
+    ) {
+        let cfg = flat_config(
+            Scheme::None,
+            instances,
+            1 << batch_pow,
+            120,
+            class_seed,
+            tenants,
+            seed,
+        );
+        let mut service = flat_service(500.0);
+        let (_, audits) = simulate_audited(&cfg, &mut service, qps);
+        prop_assert!(!audits.is_empty(), "the run must admit batches");
+        for a in &audits {
+            if !a.full {
+                let deadline = (a.head + cfg.max_wait_ns).max(a.free_since) + 1;
+                prop_assert!(
+                    a.admitted_at <= deadline,
+                    "tenant {} batch admitted at {} past deadline {} \
+                     (head {}, free_since {})",
+                    a.tenant, a.admitted_at, deadline, a.head, a.free_since
+                );
+            }
+        }
+    }
+
+    /// The pure scheduler never inverts strict priority: when every ready
+    /// queue head carries the identical arrival timestamp, the pick is
+    /// always from the most critical class present — regardless of the
+    /// deficit history accumulated beforehand.
+    #[test]
+    fn priority_never_inverts_at_identical_arrival_times(
+        class_seeds in pvec(0usize..3, 1..6),
+        weights in pvec(0.1f64..8.0, 6),
+        history in pvec((0usize..6, 1usize..9), 0..40),
+        head in 0u64..1_000_000,
+    ) {
+        let tenants: Vec<TenantSpec> = class_seeds
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| TenantSpec {
+                shape: ArrivalShape::Poisson,
+                weight: weights[t],
+                class: class_from(c),
+            })
+            .collect();
+        let mut sched = ClassScheduler::new(&tenants);
+        // Arbitrary prior service history: the invariant must survive any
+        // deficit state, not just a fresh scheduler.
+        for &(t, take) in &history {
+            sched.on_dispatch(t % tenants.len(), take);
+        }
+        let ready: Vec<ReadyTenant> = (0..tenants.len())
+            .map(|tenant| ReadyTenant { tenant, head })
+            .collect();
+        let picked = sched.pick(&ready).expect("non-empty ready set");
+        let best = ready
+            .iter()
+            .map(|r| sched.class_of(r.tenant).priority())
+            .min()
+            .expect("non-empty ready set");
+        prop_assert_eq!(
+            sched.class_of(picked).priority(),
+            best,
+            "picked tenant {} of class {:?} while a higher class was ready",
+            picked,
+            sched.class_of(picked)
+        );
+    }
+
+    /// Offered load is conserved under any overload response: admission
+    /// control, crashes, codec faults under either degradation policy.
+    /// Every arrival lands in exactly one terminal bucket and the
+    /// per-class rows sum back to the totals.
+    #[test]
+    fn terminal_buckets_partition_the_offered_load(
+        seed in 0u64..(1 << 48),
+        chaos_seed in 0u64..(1 << 48),
+        qps in 100.0f64..20_000.0,
+        batch_pow in 0u32..3,
+        instances in 1usize..4,
+        class_seed in 0usize..9,
+        tenants in 1usize..4,
+        protective_sel in 0u32..2,
+        chaos_sel in 0u32..2,
+        policy_sel in 0u32..2,
+        fault_rate in 0.0f64..0.5,
+        mttf_s in 0.005f64..0.05,
+        mttr_s in 0.001f64..0.01,
+    ) {
+        let mut cfg = flat_config(
+            Scheme::Zcomp,
+            instances,
+            1 << batch_pow,
+            100,
+            class_seed,
+            tenants,
+            seed,
+        );
+        let (protective, with_chaos, hard_fail) =
+            (protective_sel == 1, chaos_sel == 1, policy_sel == 1);
+        if protective {
+            cfg.admission = AdmissionConfig::protective();
+        }
+        if with_chaos {
+            cfg.chaos = Some(ChaosConfig {
+                seed: chaos_seed,
+                mttf_s,
+                mttr_s,
+                codec_fault_rate: fault_rate,
+                transient_fraction: 0.25,
+                retry_cost_frac: 0.25,
+                policy: if hard_fail {
+                    DegradePolicy::HardFail
+                } else {
+                    DegradePolicy::Degrade
+                },
+            });
+        }
+        let mut service = flat_service(500.0);
+        let p = simulate(&cfg, &mut service, qps);
+        prop_assert_eq!(p.arrivals, cfg.total_arrivals() as u64);
+        prop_assert_eq!(
+            accounted(&p),
+            p.arrivals,
+            "buckets {} != arrivals {} (completed {} dropped {} rejected {} \
+             shed {} failed {} stranded {})",
+            accounted(&p), p.arrivals, p.completed, p.dropped, p.rejected,
+            p.shed, p.failed, p.stranded
+        );
+        // Degrade policy turns codec faults into retries or fallbacks,
+        // never request failures.
+        if with_chaos && !hard_fail {
+            prop_assert_eq!(p.failed, 0);
+        }
+        // Per-class rows partition every terminal bucket.
+        let sum = |f: fn(&zcomp::serve::engine::ClassStats) -> u64| {
+            p.classes.iter().map(f).sum::<u64>()
+        };
+        prop_assert_eq!(sum(|c| c.arrivals), p.arrivals);
+        prop_assert_eq!(sum(|c| c.completed), p.completed);
+        prop_assert_eq!(sum(|c| c.dropped), p.dropped);
+        prop_assert_eq!(sum(|c| c.rejected), p.rejected);
+        prop_assert_eq!(sum(|c| c.shed), p.shed);
+        prop_assert_eq!(sum(|c| c.failed), p.failed);
+    }
+}

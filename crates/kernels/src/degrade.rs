@@ -136,6 +136,25 @@ pub struct FaultyLayerReport {
     pub output_exact: bool,
 }
 
+/// Distills the retry-then-uncompressed policy for a *detected* stream
+/// corruption at `site` into its resolution, without simulating the
+/// reads: how many retry reads get charged and how the layer ends.
+///
+/// This is the contract [`run_layer_faulted`] implements against real
+/// stream bytes — transient in-flight flips ([`FaultSite::is_transient`])
+/// clear on the first retry, persistent array corruption survives every
+/// re-read and forces the uncompressed fallback — exposed so higher
+/// layers (the serving chaos engine) degrade by the same rules instead of
+/// inventing their own. With `max_retries == 0` even a transient flip
+/// falls back: there is no clean read to recover from.
+pub fn resolve_stream_fault(site: FaultSite, max_retries: u32) -> (u32, LayerOutcome) {
+    if site.is_transient() && max_retries >= 1 {
+        (1, LayerOutcome::Recovered)
+    } else {
+        (max_retries, LayerOutcome::Fallback)
+    }
+}
+
 /// A drained fault event translated into stream coordinates.
 #[derive(Debug, Clone, Copy)]
 struct StreamHit {
@@ -511,6 +530,34 @@ mod tests {
         if r.outcome == LayerOutcome::SilentCorruption {
             assert!(!r.output_exact);
         }
+    }
+
+    #[test]
+    fn resolve_matches_the_simulated_policy() {
+        // Persistent corruption: the full-fidelity run falls back after
+        // exhausting retries; the distilled resolution must agree on both
+        // the outcome and the retry charge.
+        let mut m = machine();
+        m.attach_faults(&FaultConfig::off(11).with_rate(FaultSite::DramBurst, 1.0));
+        let r = run_layer_faulted(&mut m, &input(16 * 1024), &DegradeOpts::default()).unwrap();
+        let (retries, outcome) = resolve_stream_fault(FaultSite::DramBurst, 1);
+        assert_eq!(outcome, r.outcome);
+        assert_eq!(u64::from(retries), r.retries);
+
+        // Transient flips recover on one retry; without any retry budget
+        // they fall back too.
+        assert_eq!(
+            resolve_stream_fault(FaultSite::NocFlit, 1),
+            (1, LayerOutcome::Recovered)
+        );
+        assert_eq!(
+            resolve_stream_fault(FaultSite::NocFlit, 0),
+            (0, LayerOutcome::Fallback)
+        );
+        assert_eq!(
+            resolve_stream_fault(FaultSite::L3Line, 2),
+            (2, LayerOutcome::Fallback)
+        );
     }
 
     #[test]

@@ -37,6 +37,50 @@ pub mod names {
     pub const SLO_VIOLATIONS: &str = "serve.slo_violations";
     /// Counter: batches admitted to instances.
     pub const BATCHES: &str = "serve.batches";
+    /// Counter: requests rejected by the per-tenant token-bucket rate
+    /// limiter before ever entering a queue.
+    pub const REJECTED: &str = "serve.rejected";
+    /// Counter: queued requests shed by the deadline-aware shedder
+    /// (already past their class SLO budget at dispatch time).
+    pub const SHED: &str = "serve.shed";
+    /// Counter: requests hard-failed by a codec fault under the
+    /// hard-fail degradation policy.
+    pub const FAILED: &str = "serve.failed";
+    /// Counter: requests left queued when the simulation drained with no
+    /// serving-capable instance remaining.
+    pub const STRANDED: &str = "serve.stranded";
+    /// Counter: in-flight requests requeued because their instance
+    /// crashed mid-batch.
+    pub const PREEMPTED: &str = "serve.preempted";
+    /// Histogram: capped-exponential retry-after hints handed to
+    /// rate-limited tenants, milliseconds.
+    pub const RETRY_AFTER_MS: &str = "serve.retry_after_ms";
+    /// Counter: instance crashes injected by the chaos process.
+    pub const CRASHES: &str = "serve.chaos.crashes";
+    /// Counter: instance recoveries injected by the chaos process.
+    pub const RECOVERIES: &str = "serve.chaos.recoveries";
+    /// Counter: codec faults injected into compressed batches.
+    pub const CODEC_FAULTS: &str = "serve.chaos.codec_faults";
+    /// Counter: retry reads charged to faulted compressed batches.
+    pub const CODEC_RETRIES: &str = "serve.chaos.codec_retries";
+    /// Counter: faulted batches that fell back to uncompressed service.
+    pub const CODEC_FALLBACKS: &str = "serve.chaos.codec_fallbacks";
+    /// Counter: autoscaler scale-up decisions.
+    pub const SCALE_UPS: &str = "serve.scale.ups";
+    /// Counter: autoscaler scale-down decisions.
+    pub const SCALE_DOWNS: &str = "serve.scale.downs";
+    /// Histogram: serving-capable instance count sampled at every
+    /// autoscaler evaluation.
+    pub const INSTANCES_UP: &str = "serve.scale.instances_up";
+    /// Histogram: end-to-end latency of Interactive-class requests,
+    /// microseconds.
+    pub const LATENCY_US_INTERACTIVE: &str = "serve.latency_us.interactive";
+    /// Histogram: end-to-end latency of Batch-class requests,
+    /// microseconds.
+    pub const LATENCY_US_BATCH: &str = "serve.latency_us.batch";
+    /// Histogram: end-to-end latency of BestEffort-class requests,
+    /// microseconds.
+    pub const LATENCY_US_BEST_EFFORT: &str = "serve.latency_us.best_effort";
 }
 
 /// Span covering one simulated rate point (all events at one offered QPS).
@@ -66,6 +110,42 @@ pub fn slowdown(factor: f64) {
     tracer::counter("serve.slowdown", factor);
 }
 
+/// Instant: the chaos process crashed an instance.
+#[inline]
+pub fn chaos_crash() {
+    tracer::instant("serve", "chaos.crash");
+}
+
+/// Instant: a crashed instance recovered.
+#[inline]
+pub fn chaos_recover() {
+    tracer::instant("serve", "chaos.recover");
+}
+
+/// Instant: a codec fault struck an admitted compressed batch.
+#[inline]
+pub fn codec_fault() {
+    tracer::instant("serve", "chaos.codec_fault");
+}
+
+/// Instant: the autoscaler enabled an instance.
+#[inline]
+pub fn scale_up() {
+    tracer::instant("serve", "scale.up");
+}
+
+/// Instant: the autoscaler disabled an idle instance.
+#[inline]
+pub fn scale_down() {
+    tracer::instant("serve", "scale.down");
+}
+
+/// Counter sample: serving-capable instance count at a scale evaluation.
+#[inline]
+pub fn instances_up(count: f64) {
+    tracer::counter(names::INSTANCES_UP, count);
+}
+
 #[cfg(test)]
 mod tests {
     use super::names;
@@ -81,6 +161,23 @@ mod tests {
             names::DROPPED,
             names::SLO_VIOLATIONS,
             names::BATCHES,
+            names::REJECTED,
+            names::SHED,
+            names::FAILED,
+            names::STRANDED,
+            names::PREEMPTED,
+            names::RETRY_AFTER_MS,
+            names::CRASHES,
+            names::RECOVERIES,
+            names::CODEC_FAULTS,
+            names::CODEC_RETRIES,
+            names::CODEC_FALLBACKS,
+            names::SCALE_UPS,
+            names::SCALE_DOWNS,
+            names::INSTANCES_UP,
+            names::LATENCY_US_INTERACTIVE,
+            names::LATENCY_US_BATCH,
+            names::LATENCY_US_BEST_EFFORT,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("serve."), "{a}");
